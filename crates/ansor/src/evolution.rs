@@ -1,0 +1,265 @@
+//! Ansor's evolutionary search (population 2048, 4 generations by default,
+//! §5), guided by the learned cost model.
+
+use crate::{Proposer, SearchTask};
+use felix_cost::{
+    crossover_schedules, log_transform, mutate_schedule, random_schedule, Mlp,
+};
+use felix_sim::clock::ClockCosts;
+use felix_sim::TuningClock;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Configuration of the evolutionary search.
+#[derive(Clone, Copy, Debug)]
+pub struct EvolutionConfig {
+    /// Population size (paper: 2048).
+    pub population: usize,
+    /// Generations per round (paper: 4).
+    pub generations: usize,
+    /// Fraction of the next generation produced by mutation (vs crossover).
+    pub mutation_rate: f64,
+    /// Fraction of the initial population seeded from previously measured
+    /// good schedules.
+    pub elite_seed_frac: f64,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        EvolutionConfig {
+            population: 2048,
+            generations: 4,
+            mutation_rate: 0.85,
+            elite_seed_frac: 0.25,
+        }
+    }
+}
+
+/// The evolutionary candidate proposer.
+#[derive(Clone, Debug)]
+pub struct EvolutionaryProposer {
+    /// Hyperparameters.
+    pub config: EvolutionConfig,
+    trace: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl EvolutionaryProposer {
+    /// With the paper's default settings.
+    pub fn new(config: EvolutionConfig) -> Self {
+        EvolutionaryProposer { config, trace: Vec::new(), scratch: Vec::new() }
+    }
+
+    fn score_population(
+        &mut self,
+        task: &SearchTask,
+        model: &Mlp,
+        pop: &[(usize, Vec<f64>)],
+        clock: &mut TuningClock,
+        costs: &ClockCosts,
+    ) -> Vec<f64> {
+        clock.charge_predictions(pop.len(), costs);
+        pop.iter()
+            .map(|(sk, vals)| {
+                let st = &task.sketches[*sk];
+                let raw = st.eval_features(vals, &mut self.scratch);
+                let score = model.predict(&log_transform(&raw));
+                self.trace.push(score);
+                score
+            })
+            .collect()
+    }
+}
+
+impl Default for EvolutionaryProposer {
+    fn default() -> Self {
+        Self::new(EvolutionConfig::default())
+    }
+}
+
+
+impl Proposer for EvolutionaryProposer {
+    fn name(&self) -> &'static str {
+        "ansor-evolutionary"
+    }
+
+    fn propose(
+        &mut self,
+        task: &SearchTask,
+        model: &Mlp,
+        n: usize,
+        clock: &mut TuningClock,
+        costs: &ClockCosts,
+        rng: &mut StdRng,
+    ) -> Vec<(usize, Vec<f64>)> {
+        let cfg = self.config;
+        // --- Initial population: elites from history + random samples -----
+        let mut pop: Vec<(usize, Vec<f64>)> = Vec::with_capacity(cfg.population);
+        let mut elites: Vec<&(usize, Vec<f64>, f64)> = task.measured.iter().collect();
+        elites.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite latency"));
+        let n_elite = ((cfg.population as f64 * cfg.elite_seed_frac) as usize)
+            .min(elites.len());
+        for e in elites.iter().take(n_elite) {
+            pop.push((e.0, e.1.clone()));
+        }
+        while pop.len() < cfg.population {
+            let sk = rng.gen_range(0..task.sketches.len());
+            let vals = random_schedule(&task.sketches[sk].program, rng, 32);
+            pop.push((sk, vals));
+        }
+        clock.charge_evolution(cfg.population, costs);
+
+        // --- Generations ----------------------------------------------------
+        let mut scores = self.score_population(task, model, &pop, clock, costs);
+        for _ in 0..cfg.generations {
+            // Rank and keep the better half as parents.
+            let mut order: Vec<usize> = (0..pop.len()).collect();
+            order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite"));
+            let parents: Vec<(usize, Vec<f64>)> = order[..pop.len() / 2]
+                .iter()
+                .map(|&i| pop[i].clone())
+                .collect();
+            let mut next: Vec<(usize, Vec<f64>)> = parents.clone();
+            while next.len() < cfg.population {
+                let (sk, base) = &parents[rng.gen_range(0..parents.len())];
+                let child = if rng.gen_bool(cfg.mutation_rate) {
+                    mutate_schedule(&task.sketches[*sk].program, base, rng, 8)
+                } else {
+                    // Crossover within the same sketch.
+                    let same: Vec<&(usize, Vec<f64>)> =
+                        parents.iter().filter(|(s, _)| s == sk).collect();
+                    let other = same[rng.gen_range(0..same.len())];
+                    crossover_schedules(&task.sketches[*sk].program, base, &other.1, rng)
+                };
+                next.push((*sk, child));
+            }
+            clock.charge_evolution(cfg.population, costs);
+            pop = next;
+            scores = self.score_population(task, model, &pop, clock, costs);
+        }
+
+        // --- Pick the top-n unmeasured candidates ---------------------------
+        let mut order: Vec<usize> = (0..pop.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite"));
+        let mut out = Vec::with_capacity(n);
+        let mut seen = std::collections::HashSet::new();
+        for i in order {
+            let (sk, vals) = &pop[i];
+            let key = format!("{sk}:{vals:?}");
+            if seen.contains(&key) || task.already_measured(*sk, vals) {
+                continue;
+            }
+            seen.insert(key);
+            out.push((*sk, vals.clone()));
+            if out.len() >= n {
+                break;
+            }
+        }
+        out
+    }
+
+    fn take_prediction_trace(&mut self) -> Vec<f64> {
+        std::mem::take(&mut self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tune_task_round, TuneOptions};
+    use felix_graph::{Op, Subgraph, Task};
+    use felix_sim::{DeviceConfig, Simulator};
+    use rand::SeedableRng;
+
+    fn setup() -> (SearchTask, Mlp, Simulator) {
+        let sim = Simulator::new(DeviceConfig::a5000());
+        let task = SearchTask::from_task(
+            &Task {
+                subgraph: Subgraph { ops: vec![Op::Dense { m: 512, k: 512, n: 512 }] },
+                weight: 1,
+            },
+            &sim,
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let ds = felix_cost::generate_dataset(&DeviceConfig::a5000(), 8, 16, 5);
+        let mut mlp = Mlp::new(&mut rng);
+        felix_cost::pretrain(
+            &mut mlp,
+            &ds.samples,
+            &felix_cost::TrainConfig { epochs: 12, batch_size: 64, lr: 1e-3, seed: 0, ..Default::default() },
+        );
+        (task, mlp, sim)
+    }
+
+    fn small_cfg() -> EvolutionConfig {
+        EvolutionConfig { population: 64, generations: 2, ..Default::default() }
+    }
+
+    #[test]
+    fn proposes_valid_unique_candidates() {
+        let (task, model, _sim) = setup();
+        let mut prop = EvolutionaryProposer::new(small_cfg());
+        let mut clock = TuningClock::new();
+        let costs = ClockCosts::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cands = prop.propose(&task, &model, 16, &mut clock, &costs, &mut rng);
+        assert!(!cands.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for (sk, vals) in &cands {
+            assert!(task.sketches[*sk].program.constraints_ok(vals, 0.0));
+            assert!(seen.insert(format!("{sk}:{vals:?}")), "duplicate candidate");
+        }
+        assert!(clock.now_s() > 0.0, "search time must be charged");
+    }
+
+    #[test]
+    fn prediction_trace_is_recorded() {
+        let (task, model, _sim) = setup();
+        let mut prop = EvolutionaryProposer::new(small_cfg());
+        let mut clock = TuningClock::new();
+        let costs = ClockCosts::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        prop.propose(&task, &model, 8, &mut clock, &costs, &mut rng);
+        let trace = prop.take_prediction_trace();
+        // population * (generations + 1) predictions.
+        assert_eq!(trace.len(), 64 * 3);
+        assert!(prop.take_prediction_trace().is_empty(), "trace drains");
+    }
+
+    #[test]
+    fn evolution_beats_pure_random_on_average() {
+        let (mut task, mut model, sim) = setup();
+        let mut clock = TuningClock::new();
+        let costs = ClockCosts::default();
+        let opts = TuneOptions { measurements_per_round: 12, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut evo = EvolutionaryProposer::new(small_cfg());
+        for _ in 0..3 {
+            tune_task_round(
+                &mut task, &mut evo, &mut model, &sim, &mut clock, &costs, &opts, &mut rng,
+            );
+        }
+        let evo_best = task.best_latency_ms;
+
+        let mut task2 = SearchTask::from_task(
+            &Task {
+                subgraph: Subgraph { ops: vec![Op::Dense { m: 512, k: 512, n: 512 }] },
+                weight: 1,
+            },
+            &sim,
+        );
+        let mut rnd = crate::RandomProposer;
+        let mut clock2 = TuningClock::new();
+        for _ in 0..3 {
+            tune_task_round(
+                &mut task2, &mut rnd, &mut model, &sim, &mut clock2, &costs, &opts, &mut rng,
+            );
+        }
+        // Cost-model-guided search should find at least as good a schedule.
+        assert!(
+            evo_best <= task2.best_latency_ms * 1.3,
+            "evolution {evo_best} vs random {}",
+            task2.best_latency_ms
+        );
+    }
+}

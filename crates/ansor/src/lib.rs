@@ -1,0 +1,424 @@
+//! The Ansor-TenSet baseline: evolutionary schedule search plus the
+//! round-based multi-task tuning loop (paper §5, Zheng et al. OSDI '20).
+//!
+//! This crate also hosts the *shared* tuning infrastructure — [`SearchTask`]
+//! states, the [`Proposer`] abstraction, per-round measurement/fine-tuning,
+//! and the task scheduler — because the paper keeps everything except the
+//! candidate-proposal algorithm identical between Ansor and Felix for a fair
+//! comparison (§3.5: Felix adopts Ansor's round-based tuning and task
+//! scheduler).
+
+pub mod evolution;
+
+pub use evolution::EvolutionaryProposer;
+
+use felix_cost::{fine_tune, latency_to_score, log_transform, Mlp, Sample};
+use felix_features::{extract_features, FeatureSet};
+use felix_graph::lower::lower_subgraph;
+use felix_graph::Task;
+use felix_sim::clock::ClockCosts;
+use felix_sim::vendor::hardware_params;
+use felix_sim::{Simulator, TuningClock};
+use felix_tir::sketch::generate_sketches;
+use felix_tir::Program;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// One symbolic sketch of a task, with its extracted feature formulas.
+#[derive(Clone, Debug)]
+pub struct SketchState {
+    /// Sketch label.
+    pub name: &'static str,
+    /// The symbolic program.
+    pub program: Program,
+    /// The 82 feature formulas over this sketch's schedule variables.
+    pub features: FeatureSet,
+    /// Tape-compiled feature evaluator (hot path of candidate scoring).
+    pub compiled: felix_expr::CompiledExprs,
+}
+
+impl SketchState {
+    /// Raw feature values of a concrete schedule via the compiled tape
+    /// (identical to `features.eval`, minus the full-pool walk).
+    pub fn eval_features(&self, values: &[f64], scratch: &mut Vec<f64>) -> Vec<f64> {
+        self.compiled.eval_into(values, scratch)
+    }
+}
+
+/// Search state of one tuning task (fused subgraph).
+#[derive(Clone, Debug)]
+pub struct SearchTask {
+    /// Display name.
+    pub name: String,
+    /// Occurrences in the network.
+    pub weight: usize,
+    /// The generated sketches.
+    pub sketches: Vec<SketchState>,
+    /// Best measured latency so far (ms), `INFINITY` before any measurement.
+    pub best_latency_ms: f64,
+    /// Best (sketch, values) found.
+    pub best_schedule: Option<(usize, Vec<f64>)>,
+    /// All measurements `(sketch, values, latency_ms)`.
+    pub measured: Vec<(usize, Vec<f64>, f64)>,
+    /// Training samples of every measurement (replay buffer for the
+    /// cost-model updates).
+    pub samples: Vec<Sample>,
+    /// Dedup set of measured candidates.
+    measured_keys: HashSet<String>,
+    /// Rounds spent on this task.
+    pub rounds: usize,
+}
+
+impl SearchTask {
+    /// Builds the search state for a fused subgraph on a device.
+    pub fn from_task(task: &Task, sim: &Simulator) -> Self {
+        let hw = hardware_params(&sim.device);
+        let p0 = lower_subgraph(&task.subgraph);
+        let sketches = generate_sketches(&p0, &hw)
+            .into_iter()
+            .map(|sk| {
+                let mut program = sk.program;
+                let features = extract_features(&mut program);
+                let compiled =
+                    felix_expr::CompiledExprs::compile(&program.pool, &features.exprs);
+                SketchState { name: sk.name, program, features, compiled }
+            })
+            .collect();
+        SearchTask {
+            name: task.subgraph.name(),
+            weight: task.weight,
+            sketches,
+            best_latency_ms: f64::INFINITY,
+            best_schedule: None,
+            measured: Vec::new(),
+            samples: Vec::new(),
+            measured_keys: HashSet::new(),
+            rounds: 0,
+        }
+    }
+
+    fn key(sketch: usize, vals: &[f64]) -> String {
+        format!("{sketch}:{vals:?}")
+    }
+
+    /// Whether a candidate has already been measured.
+    pub fn already_measured(&self, sketch: usize, vals: &[f64]) -> bool {
+        self.measured_keys.contains(&Self::key(sketch, vals))
+    }
+
+    /// Records a measurement, updating the incumbent.
+    pub fn record(&mut self, sketch: usize, vals: Vec<f64>, latency_ms: f64) {
+        self.measured_keys.insert(Self::key(sketch, &vals));
+        if latency_ms < self.best_latency_ms {
+            self.best_latency_ms = latency_ms;
+            self.best_schedule = Some((sketch, vals.clone()));
+        }
+        self.measured.push((sketch, vals, latency_ms));
+    }
+}
+
+/// A candidate-proposal algorithm: the only part that differs between Ansor
+/// (evolutionary) and Felix (gradient descent).
+pub trait Proposer {
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Proposes up to `n` unmeasured candidates `(sketch_idx, values)` for
+    /// one round, charging its own search time to `clock`.
+    fn propose(
+        &mut self,
+        task: &SearchTask,
+        model: &Mlp,
+        n: usize,
+        clock: &mut TuningClock,
+        costs: &ClockCosts,
+        rng: &mut StdRng,
+    ) -> Vec<(usize, Vec<f64>)>;
+
+    /// Chronological predicted scores of every candidate examined in the
+    /// last `propose` call (for the paper's Fig. 8); drained on read.
+    fn take_prediction_trace(&mut self) -> Vec<f64> {
+        Vec::new()
+    }
+}
+
+/// Options of the round-based tuner.
+#[derive(Clone, Copy, Debug)]
+pub struct TuneOptions {
+    /// Hardware measurements per round (Felix 16, Ansor 64; §5).
+    pub measurements_per_round: usize,
+    /// Whether to fine-tune the cost model on each round's measurements.
+    pub update_model: bool,
+    /// Fine-tuning epochs.
+    pub fine_tune_epochs: usize,
+    /// Fine-tuning learning rate.
+    pub fine_tune_lr: f32,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        TuneOptions {
+            measurements_per_round: 16,
+            update_model: true,
+            fine_tune_epochs: 5,
+            fine_tune_lr: 4e-4,
+        }
+    }
+}
+
+/// Runs one tuning round on a task: propose → measure → update model
+/// (Algorithm 1). Returns the number of new measurements.
+#[allow(clippy::too_many_arguments)]
+pub fn tune_task_round(
+    task: &mut SearchTask,
+    proposer: &mut dyn Proposer,
+    model: &mut Mlp,
+    sim: &Simulator,
+    clock: &mut TuningClock,
+    costs: &ClockCosts,
+    opts: &TuneOptions,
+    rng: &mut StdRng,
+) -> usize {
+    let candidates = proposer.propose(task, model, opts.measurements_per_round, clock, costs, rng);
+    let mut new_samples = Vec::new();
+    let mut measured = 0;
+    for (sketch, vals) in candidates {
+        if task.already_measured(sketch, &vals) {
+            continue;
+        }
+        let st = &task.sketches[sketch];
+        if !st.program.constraints_ok(&vals, 1e-9) {
+            continue;
+        }
+        clock.charge_measurement(sim.device.rpc, costs);
+        let latency = sim.measure(&st.program, &st.features, &vals, rng);
+        let raw = st.features.eval(&st.program, &vals);
+        new_samples.push(Sample {
+            logfeats: log_transform(&raw),
+            score: latency_to_score(latency),
+        });
+        task.record(sketch, vals, latency);
+        measured += 1;
+    }
+    if opts.update_model && !new_samples.is_empty() {
+        let n_new = new_samples.len();
+        task.samples.extend(new_samples);
+        // Fine-tune on a replay buffer (new measurements plus a window of
+        // history) so repeated tiny updates don't drift the model, with the
+        // epoch count scaled to the amount of new data so tools with
+        // different measurements-per-round apply the same total update
+        // strength per measurement.
+        let window = 192usize;
+        let start = task.samples.len().saturating_sub(window);
+        let epochs = ((opts.fine_tune_epochs * n_new).div_ceil(64)).max(1);
+        fine_tune(model, &task.samples[start..], epochs, opts.fine_tune_lr);
+        clock.charge_model_update(costs);
+    }
+    task.rounds += 1;
+    measured
+}
+
+/// A point on a tuning curve: simulated seconds vs. network latency in ms.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CurvePoint {
+    /// Simulated tuning time in seconds.
+    pub time_s: f64,
+    /// End-to-end network latency estimate at that time (ms).
+    pub latency_ms: f64,
+}
+
+/// Result of tuning a whole network.
+#[derive(Clone, Debug)]
+pub struct NetworkTuneResult {
+    /// Best-latency-so-far curve, one point per round.
+    pub curve: Vec<CurvePoint>,
+    /// Final per-task best latencies (ms).
+    pub task_latencies: Vec<f64>,
+    /// Final end-to-end latency (ms).
+    pub final_latency_ms: f64,
+}
+
+/// End-to-end latency = Σ weight × best task latency (+ launch gaps folded
+/// into the per-kernel launch overhead already).
+pub fn network_latency(tasks: &[SearchTask]) -> f64 {
+    tasks
+        .iter()
+        .map(|t| t.weight as f64 * t.best_latency_ms)
+        .sum()
+}
+
+/// Ansor's task scheduler (simplified gradient allocation): after seeding
+/// every task once, repeatedly picks the task with the largest weighted
+/// latency headroom.
+pub fn select_next_task(tasks: &[SearchTask]) -> usize {
+    // First: any never-tuned task, in order.
+    if let Some(i) = tasks.iter().position(|t| t.rounds == 0) {
+        return i;
+    }
+    // Then: the task with the biggest expected payoff, weighted by both its
+    // share of network latency and how stale its incumbent is.
+    let mut best = 0;
+    let mut best_score = f64::NEG_INFINITY;
+    for (i, t) in tasks.iter().enumerate() {
+        let score = t.weight as f64 * t.best_latency_ms / (t.rounds as f64).sqrt();
+        if score > best_score {
+            best_score = score;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Tunes a whole network for `n_rounds` rounds (Algorithm 2), producing the
+/// time-vs-latency curve.
+#[allow(clippy::too_many_arguments)]
+pub fn tune_network(
+    tasks: &mut [SearchTask],
+    proposer: &mut dyn Proposer,
+    model: &mut Mlp,
+    sim: &Simulator,
+    clock: &mut TuningClock,
+    costs: &ClockCosts,
+    opts: &TuneOptions,
+    n_rounds: usize,
+    rng: &mut StdRng,
+) -> NetworkTuneResult {
+    let mut curve = Vec::with_capacity(n_rounds);
+    for _ in 0..n_rounds {
+        let next = select_next_task(tasks);
+        tune_task_round(&mut tasks[next], proposer, model, sim, clock, costs, opts, rng);
+        if tasks.iter().all(|t| t.best_latency_ms.is_finite()) {
+            curve.push(CurvePoint { time_s: clock.now_s(), latency_ms: network_latency(tasks) });
+        }
+    }
+    let task_latencies = tasks.iter().map(|t| t.best_latency_ms).collect();
+    NetworkTuneResult {
+        final_latency_ms: network_latency(tasks),
+        curve,
+        task_latencies,
+    }
+}
+
+/// A trivial proposer measuring random valid schedules (sanity baseline and
+/// ablation).
+#[derive(Debug, Default)]
+pub struct RandomProposer;
+
+impl Proposer for RandomProposer {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn propose(
+        &mut self,
+        task: &SearchTask,
+        _model: &Mlp,
+        n: usize,
+        _clock: &mut TuningClock,
+        _costs: &ClockCosts,
+        rng: &mut StdRng,
+    ) -> Vec<(usize, Vec<f64>)> {
+        (0..n)
+            .map(|_| {
+                let sk = rng.gen_range(0..task.sketches.len());
+                let vals =
+                    felix_cost::random_schedule(&task.sketches[sk].program, rng, 64);
+                (sk, vals)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use felix_graph::{Op, Subgraph};
+    use felix_sim::DeviceConfig;
+    use rand::SeedableRng;
+
+    fn dense_task() -> Task {
+        Task {
+            subgraph: Subgraph { ops: vec![Op::Dense { m: 256, k: 512, n: 512 }] },
+            weight: 2,
+        }
+    }
+
+    fn quick_model() -> Mlp {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ds = felix_cost::generate_dataset(&DeviceConfig::a5000(), 6, 12, 3);
+        let mut mlp = Mlp::new(&mut rng);
+        felix_cost::pretrain(
+            &mut mlp,
+            &ds.samples,
+            &felix_cost::TrainConfig { epochs: 10, batch_size: 64, lr: 1e-3, seed: 0, ..Default::default() },
+        );
+        mlp
+    }
+
+    #[test]
+    fn search_task_builds_sketches() {
+        let sim = Simulator::new(DeviceConfig::a5000());
+        let st = SearchTask::from_task(&dense_task(), &sim);
+        assert_eq!(st.sketches.len(), 2);
+        assert!(st.best_latency_ms.is_infinite());
+    }
+
+    #[test]
+    fn random_rounds_improve_best() {
+        let sim = Simulator::new(DeviceConfig::a5000());
+        let mut task = SearchTask::from_task(&dense_task(), &sim);
+        let mut model = quick_model();
+        let mut clock = TuningClock::new();
+        let costs = ClockCosts::default();
+        let opts = TuneOptions { measurements_per_round: 8, update_model: false, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut proposer = RandomProposer;
+        tune_task_round(&mut task, &mut proposer, &mut model, &sim, &mut clock, &costs, &opts, &mut rng);
+        let after_one = task.best_latency_ms;
+        assert!(after_one.is_finite());
+        for _ in 0..5 {
+            tune_task_round(&mut task, &mut proposer, &mut model, &sim, &mut clock, &costs, &opts, &mut rng);
+        }
+        assert!(task.best_latency_ms <= after_one);
+        assert!(clock.now_s() > 0.0);
+        assert!(task.measured.len() > 8);
+    }
+
+    #[test]
+    fn record_tracks_incumbent_and_dedup() {
+        let sim = Simulator::new(DeviceConfig::a5000());
+        let mut task = SearchTask::from_task(&dense_task(), &sim);
+        task.record(0, vec![1.0, 2.0], 5.0);
+        task.record(0, vec![1.0, 3.0], 3.0);
+        task.record(0, vec![1.0, 4.0], 9.0);
+        assert_eq!(task.best_latency_ms, 3.0);
+        assert!(task.already_measured(0, &[1.0, 2.0]));
+        assert!(!task.already_measured(1, &[1.0, 2.0]));
+    }
+
+    #[test]
+    fn scheduler_seeds_all_tasks_first() {
+        let sim = Simulator::new(DeviceConfig::a5000());
+        let mut tasks = vec![
+            SearchTask::from_task(&dense_task(), &sim),
+            SearchTask::from_task(&dense_task(), &sim),
+        ];
+        assert_eq!(select_next_task(&tasks), 0);
+        tasks[0].rounds = 1;
+        tasks[0].best_latency_ms = 1.0;
+        assert_eq!(select_next_task(&tasks), 1);
+        tasks[1].rounds = 1;
+        tasks[1].best_latency_ms = 50.0;
+        // Both seeded: pick the one with more headroom (task 1).
+        assert_eq!(select_next_task(&tasks), 1);
+    }
+
+    #[test]
+    fn network_latency_weights_tasks() {
+        let sim = Simulator::new(DeviceConfig::a5000());
+        let mut tasks = vec![SearchTask::from_task(&dense_task(), &sim)];
+        tasks[0].best_latency_ms = 2.0;
+        assert_eq!(network_latency(&tasks), 4.0); // weight 2
+    }
+}

@@ -1,0 +1,66 @@
+//! Table 2a: tuning speedup of Felix over Ansor-TenSet, measured as the
+//! ratio of times needed to converge to 90%/95%/99% of the best Ansor
+//! performance (batch 1). Reads the curves produced by the `fig7` binary.
+
+use felix_bench::{curves_from_csv, geomean, milestone_speedup, read_result, write_result};
+
+fn main() {
+    let Some(csv) = read_result("fig7_batch1.csv") else {
+        eprintln!("results/fig7_batch1.csv missing — run the fig7 binary first");
+        std::process::exit(1);
+    };
+    let curves = curves_from_csv(&csv);
+    let devices = ["RTX A5000", "A10G", "Xavier NX"];
+    let pcts = [90.0, 95.0, 99.0];
+    let mut out = String::from("device,network,s90,s95,s99\n");
+    println!("Table 2a: Felix tuning speedup over Ansor-TenSet (batch 1)");
+    println!("{:<11} {:<18} {:>7} {:>7} {:>7}", "device", "network", "90%", "95%", "99%");
+    for dev in devices {
+        let mut per_pct: Vec<Vec<f64>> = vec![Vec::new(); 3];
+        let nets: Vec<String> = {
+            let mut v: Vec<String> = curves
+                .iter()
+                .filter(|(d, _, _, s, _)| d == dev && *s == 1)
+                .map(|(_, n, _, _, _)| n.clone())
+                .collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        for net in &nets {
+            let felix = curves
+                .iter()
+                .find(|(d, n, t, s, _)| d == dev && n == net && t == "Felix" && *s == 1);
+            let ansor = curves
+                .iter()
+                .find(|(d, n, t, s, _)| d == dev && n == net && t == "Ansor-TenSet" && *s == 1);
+            let (Some(f), Some(a)) = (felix, ansor) else { continue };
+            let ansor_best = a.4.iter().map(|p| p.latency_ms).fold(f64::INFINITY, f64::min);
+            let mut cells = Vec::new();
+            for (i, &pct) in pcts.iter().enumerate() {
+                match milestone_speedup(&f.4, &a.4, ansor_best, pct) {
+                    Some(s) => {
+                        per_pct[i].push(s);
+                        cells.push(format!("{s:>6.1}x"));
+                    }
+                    None => cells.push("     —".to_string()),
+                }
+            }
+            println!("{dev:<11} {net:<18} {}", cells.join(" "));
+            out.push_str(&format!(
+                "{dev},{net},{}\n",
+                cells.iter().map(|c| c.trim().to_string()).collect::<Vec<_>>().join(",")
+            ));
+        }
+        let gm: Vec<String> = per_pct
+            .iter()
+            .map(|v| match geomean(v) {
+                Some(g) => format!("{g:>6.1}x"),
+                None => "     —".into(),
+            })
+            .collect();
+        println!("{dev:<11} {:<18} {}", "GEOMEAN", gm.join(" "));
+        out.push_str(&format!("{dev},GEOMEAN,{}\n", gm.join(",").replace(' ', "")));
+    }
+    write_result("table2a_speedups.csv", &out);
+}

@@ -1,0 +1,118 @@
+//! Minimal ASCII chart rendering for the experiment outputs: the repository
+//! has no plotting dependency, so tuning curves (Figs. 7/10) render as
+//! terminal charts good enough to eyeball crossovers and convergence.
+
+use felix_ansor::CurvePoint;
+
+/// One named series of a chart.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Points (x ascending).
+    pub points: Vec<CurvePoint>,
+    /// Glyph used for this series.
+    pub glyph: char,
+}
+
+/// Renders series into a `width x height` ASCII chart with log-scaled y
+/// (latencies span decades) and linear x (tuning time).
+pub fn render(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let pts: Vec<&CurvePoint> = series.iter().flat_map(|s| s.points.iter()).collect();
+    if pts.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let x_max = pts.iter().map(|p| p.time_s).fold(0.0, f64::max).max(1e-9);
+    let y_min = pts.iter().map(|p| p.latency_ms).fold(f64::INFINITY, f64::min);
+    let y_max = pts.iter().map(|p| p.latency_ms).fold(0.0, f64::max);
+    let (ly_min, ly_max) = (y_min.max(1e-9).ln(), (y_max.max(y_min * 1.0001)).ln());
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        // Best-so-far step curve: carry each point to the next x.
+        let mut prev: Option<(usize, usize)> = None;
+        for p in &s.points {
+            let xi = ((p.time_s / x_max) * (width - 1) as f64).round() as usize;
+            let yl = (p.latency_ms.max(1e-9).ln() - ly_min) / (ly_max - ly_min).max(1e-12);
+            let yi = height - 1 - (yl * (height - 1) as f64).round() as usize;
+            let (xi, yi) = (xi.min(width - 1), yi.min(height - 1));
+            if let Some((px, py)) = prev {
+                for x in px..=xi {
+                    grid[py][x] = s.glyph;
+                }
+            }
+            grid[yi][xi] = s.glyph;
+            prev = Some((xi, yi));
+        }
+    }
+    for (row, line) in grid.iter().enumerate() {
+        let y_here = (ly_max - (row as f64 / (height - 1) as f64) * (ly_max - ly_min)).exp();
+        let label = if row == 0 || row == height - 1 || row == height / 2 {
+            format!("{y_here:>9.3} |")
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&label);
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>9} +{}\n{:>10} 0{:>w$.0} s\n",
+        "",
+        "-".repeat(width),
+        "",
+        x_max,
+        w = width - 1
+    ));
+    for s in series {
+        out.push_str(&format!("  {} = {}\n", s.glyph, s.name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(scale: f64) -> Vec<CurvePoint> {
+        (1..20)
+            .map(|i| CurvePoint {
+                time_s: i as f64 * 100.0,
+                latency_ms: scale * 10.0 / (i as f64),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn renders_without_panic_and_contains_legend() {
+        let s = vec![
+            Series { name: "Felix".into(), points: curve(1.0), glyph: 'f' },
+            Series { name: "Ansor".into(), points: curve(1.5), glyph: 'a' },
+        ];
+        let txt = render("test chart", &s, 60, 12);
+        assert!(txt.contains("f = Felix"));
+        assert!(txt.contains("a = Ansor"));
+        assert!(txt.lines().count() > 12);
+        assert!(txt.contains('f') && txt.contains('a'));
+    }
+
+    #[test]
+    fn empty_series_is_graceful() {
+        let txt = render("empty", &[], 40, 8);
+        assert!(txt.contains("no data"));
+    }
+
+    #[test]
+    fn lower_latency_appears_lower_in_the_chart() {
+        let s = vec![Series { name: "x".into(), points: curve(1.0), glyph: 'x' }];
+        let txt = render("t", &s, 60, 12);
+        let rows: Vec<&str> = txt.lines().collect();
+        // The last point (lowest latency) must appear below the first.
+        let first_row = rows.iter().position(|r| r.contains('x')).unwrap();
+        let last_row = rows.iter().rposition(|r| r.contains('x')).unwrap();
+        assert!(last_row > first_row);
+    }
+}

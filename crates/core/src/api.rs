@@ -1,0 +1,384 @@
+//! The user-facing programming interface, mirroring the paper's Fig. 5.
+
+use crate::gd::{FelixOptions, GradientProposer};
+use felix_ansor::{
+    network_latency, tune_network, NetworkTuneResult, SearchTask, TuneOptions,
+};
+use felix_cost::{generate_dataset, pretrain, Mlp, TrainConfig};
+use felix_graph::{partition, Graph, Task};
+use felix_sim::clock::ClockCosts;
+use felix_sim::{DeviceConfig, Simulator, TuningClock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How thoroughly to pretrain the cost model.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModelQuality {
+    /// Small corpus, few epochs — seconds; fine for tests and examples.
+    Fast,
+    /// TenSet-scale corpus and epochs — the experiment-harness setting.
+    Full,
+}
+
+/// Extracts the tuning tasks (fused subgraphs) from a network, as
+/// `felix.extract_subgraphs` does in Fig. 5.
+pub fn extract_subgraphs(graph: &Graph) -> Vec<Task> {
+    partition(graph)
+}
+
+/// Returns a cost model pretrained for the target device, as
+/// `felix.pretrained_cost_model` does in Fig. 5. Training is deterministic
+/// per device + quality.
+pub fn pretrained_cost_model(device: &DeviceConfig, quality: ModelQuality) -> Mlp {
+    let (n_workloads, schedules, epochs) = match quality {
+        ModelQuality::Fast => (12, 24, 18),
+        ModelQuality::Full => (120, 96, 40),
+    };
+    let ds = generate_dataset(device, n_workloads, schedules, 0xFE11C5);
+    let mut rng = StdRng::seed_from_u64(0xC0571);
+    let mut mlp = Mlp::new(&mut rng);
+    let (train, _) = ds.split(0);
+    pretrain(
+        &mut mlp,
+        &train,
+        &TrainConfig { epochs, batch_size: 128, lr: 7e-4, seed: 1, ..Default::default() },
+    );
+    mlp
+}
+
+/// The Felix optimizer: owns the tasks, cost model, simulator, and tuning
+/// clock, and runs the full-graph tuning loop (Fig. 5 / Algorithm 2).
+pub struct Optimizer {
+    tasks: Vec<SearchTask>,
+    model: Mlp,
+    sim: Simulator,
+    clock: TuningClock,
+    costs: ClockCosts,
+    proposer: GradientProposer,
+    rng: StdRng,
+    /// Curve of (time, latency) across all rounds run so far.
+    pub history: Vec<felix_ansor::CurvePoint>,
+}
+
+impl Optimizer {
+    /// Sets up the search space and objective for every subgraph.
+    pub fn new(graphs: Vec<Task>, cost_model: Mlp, device: DeviceConfig) -> Self {
+        Self::with_options(graphs, cost_model, device, FelixOptions::default())
+    }
+
+    /// [`Optimizer::new`] with explicit search hyperparameters.
+    pub fn with_options(
+        graphs: Vec<Task>,
+        cost_model: Mlp,
+        device: DeviceConfig,
+        options: FelixOptions,
+    ) -> Self {
+        let sim = Simulator::new(device);
+        let tasks = graphs.iter().map(|t| SearchTask::from_task(t, &sim)).collect();
+        Optimizer {
+            tasks,
+            model: cost_model,
+            sim,
+            clock: TuningClock::new(),
+            costs: ClockCosts::default(),
+            proposer: GradientProposer::new(options),
+            rng: StdRng::seed_from_u64(0xF311),
+            history: Vec::new(),
+        }
+    }
+
+    /// The tuning tasks.
+    pub fn tasks(&self) -> &[SearchTask] {
+        &self.tasks
+    }
+
+    /// Simulated tuning time spent so far, in seconds.
+    pub fn tuning_time_s(&self) -> f64 {
+        self.clock.now_s()
+    }
+
+    /// Runs `n_total_rounds` rounds of tuning with `measure_per_round`
+    /// hardware measurements each (Fig. 5's `optimize_all`).
+    pub fn optimize_all(
+        &mut self,
+        n_total_rounds: usize,
+        measure_per_round: usize,
+    ) -> NetworkTuneResult {
+        let opts = TuneOptions {
+            measurements_per_round: measure_per_round,
+            ..Default::default()
+        };
+        let res = tune_network(
+            &mut self.tasks,
+            &mut self.proposer,
+            &mut self.model,
+            &self.sim,
+            &mut self.clock,
+            &self.costs,
+            &opts,
+            n_total_rounds,
+            &mut self.rng,
+        );
+        self.history.extend(res.curve.iter().copied());
+        res
+    }
+
+    /// Applies the best schedule found for each subgraph and produces a
+    /// compiled module (Fig. 5's `compile_with_best_configs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before any tuning round measured every task.
+    pub fn compile_with_best_configs(&self) -> CompiledModule {
+        let mut kernels = Vec::with_capacity(self.tasks.len());
+        for t in &self.tasks {
+            let (sketch, vals) = t
+                .best_schedule
+                .clone()
+                .expect("optimize_all must run (and measure every task) before compiling");
+            kernels.push(CompiledKernel {
+                task_name: t.name.clone(),
+                sketch_name: t.sketches[sketch].name,
+                sketch,
+                values: vals,
+                weight: t.weight,
+                latency_ms: t.best_latency_ms,
+            });
+        }
+        CompiledModule { device: self.sim.device, kernels }
+    }
+}
+
+/// One tuned kernel of a compiled module.
+#[derive(Clone, Debug)]
+pub struct CompiledKernel {
+    /// Subgraph name.
+    pub task_name: String,
+    /// Which sketch won.
+    pub sketch_name: &'static str,
+    /// Sketch index.
+    pub sketch: usize,
+    /// The concrete schedule-variable assignment.
+    pub values: Vec<f64>,
+    /// Occurrences in the network.
+    pub weight: usize,
+    /// Measured kernel latency (ms).
+    pub latency_ms: f64,
+}
+
+/// A "compiled" network: the best schedule per subgraph plus the device it
+/// was tuned for. `run` replays an inference through the simulator.
+#[derive(Clone, Debug)]
+pub struct CompiledModule {
+    /// The target device.
+    pub device: DeviceConfig,
+    /// Tuned kernels in task order.
+    pub kernels: Vec<CompiledKernel>,
+}
+
+impl Optimizer {
+    /// Saves the best configurations found so far in a simple line format
+    /// (the `save_res="resnet50.json"` step of Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn save_configs<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "# felix tuned configs for {}", self.sim.device.name)?;
+        for t in &self.tasks {
+            if let Some((sketch, vals)) = &t.best_schedule {
+                let vals: Vec<String> = vals.iter().map(|v| format!("{v}")).collect();
+                writeln!(
+                    w,
+                    "{}\t{}\t{}\t{}\t{}",
+                    t.name,
+                    t.weight,
+                    sketch,
+                    t.best_latency_ms,
+                    vals.join(",")
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores best configurations saved by [`Optimizer::save_configs`]
+    /// into matching tasks (by name), enabling
+    /// `compile_with_best_configs` without re-tuning (the
+    /// `configs_file="resnet50.json"` step of Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unreadable input or malformed lines.
+    pub fn load_configs<R: std::io::BufRead>(&mut self, r: R) -> std::io::Result<usize> {
+        use std::io::{Error, ErrorKind};
+        let mut loaded = 0;
+        for line in r.lines() {
+            let line = line?;
+            if line.starts_with('#') || line.trim().is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.split('\t').collect();
+            if parts.len() != 5 {
+                return Err(Error::new(ErrorKind::InvalidData, "malformed config line"));
+            }
+            fn bad<E>(_: E) -> Error {
+                Error::new(ErrorKind::InvalidData, "malformed number")
+            }
+            let sketch: usize = parts[2].parse().map_err(bad)?;
+            let latency: f64 = parts[3].parse().map_err(bad)?;
+            let vals: Vec<f64> = parts[4]
+                .split(',')
+                .map(|v| v.parse().map_err(bad))
+                .collect::<Result<_, _>>()?;
+            // Display names can collide (e.g. two dense layers differing
+            // only in the reduction size); fill un-restored tasks first.
+            let target = self
+                .tasks
+                .iter_mut()
+                .filter(|t| t.name == parts[0])
+                .min_by_key(|t| t.best_schedule.is_some());
+            if let Some(t) = target {
+                if sketch < t.sketches.len()
+                    && t.sketches[sketch].program.constraints_ok(&vals, 1e-9)
+                {
+                    t.record(sketch, vals, latency);
+                    loaded += 1;
+                }
+            }
+        }
+        Ok(loaded)
+    }
+}
+
+impl CompiledModule {
+    /// End-to-end latency estimate in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.kernels.iter().map(|k| k.weight as f64 * k.latency_ms).sum()
+    }
+
+    /// Simulates one inference, returning a noisy end-to-end latency.
+    pub fn run(&self, rng: &mut impl rand::Rng) -> f64 {
+        self.kernels
+            .iter()
+            .map(|k| {
+                k.weight as f64 * k.latency_ms * felix_sim::lognormal(rng, 0.02)
+            })
+            .sum()
+    }
+
+    /// A human-readable summary table.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "compiled for {}: {:.4} ms", self.device.name, self.latency_ms());
+        for k in &self.kernels {
+            let _ = writeln!(
+                out,
+                "  {:40} x{:<3} {:>10.4} ms  [{}]",
+                k.task_name, k.weight, k.latency_ms, k.sketch_name
+            );
+        }
+        out
+    }
+}
+
+/// Convenience: current end-to-end latency of an optimizer's tasks.
+pub fn current_network_latency(opt: &Optimizer) -> f64 {
+    network_latency(opt.tasks())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use felix_graph::models;
+
+    #[test]
+    fn fig5_workflow_end_to_end() {
+        // The paper's Fig. 5 flow on a scaled-down LLaMA so the test is fast.
+        let device = DeviceConfig::a5000();
+        let dnn = models::llama_with_config(1, 32, 256, 4, 688, 2);
+        let graphs = extract_subgraphs(&dnn);
+        assert!(graphs.len() >= 5);
+        let cost_model = pretrained_cost_model(&device, ModelQuality::Fast);
+        let mut opt = Optimizer::with_options(
+            graphs,
+            cost_model,
+            device,
+            FelixOptions { n_seeds: 2, n_steps: 20, ..Default::default() },
+        );
+        let n_tasks = opt.tasks().len();
+        let res = opt.optimize_all(n_tasks + 2, 4);
+        assert!(res.final_latency_ms.is_finite());
+        assert!(opt.tuning_time_s() > 0.0);
+        let module = opt.compile_with_best_configs();
+        assert_eq!(module.kernels.len(), n_tasks);
+        assert!((module.latency_ms() - res.final_latency_ms).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(0);
+        let sample = module.run(&mut rng);
+        assert!((sample / module.latency_ms() - 1.0).abs() < 0.3);
+        assert!(module.summary().contains("compiled for"));
+    }
+
+    #[test]
+    fn configs_save_and_load_round_trip() {
+        let device = DeviceConfig::a5000();
+        let dnn = models::llama_with_config(1, 16, 128, 4, 344, 2);
+        let cost_model = pretrained_cost_model(&device, ModelQuality::Fast);
+        let mut opt = Optimizer::with_options(
+            extract_subgraphs(&dnn),
+            cost_model.clone(),
+            device,
+            FelixOptions { n_seeds: 2, n_steps: 15, ..Default::default() },
+        );
+        let n_tasks = opt.tasks().len();
+        opt.optimize_all(n_tasks * 2, 4);
+        let tuned = opt
+            .tasks()
+            .iter()
+            .filter(|t| t.best_schedule.is_some())
+            .count();
+        assert_eq!(tuned, n_tasks, "every task measured at least once");
+        let mut buf = Vec::new();
+        opt.save_configs(&mut buf).expect("save");
+        // A fresh optimizer (no tuning) restores the configs and compiles.
+        let mut fresh = Optimizer::new(extract_subgraphs(&dnn), cost_model, device);
+        let loaded = fresh.load_configs(std::io::BufReader::new(buf.as_slice())).expect("load");
+        assert_eq!(loaded, n_tasks);
+        let module = fresh.compile_with_best_configs();
+        assert_eq!(module.kernels.len(), n_tasks);
+        assert!((module.latency_ms() - opt.compile_with_best_configs().latency_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_configs_rejects_garbage() {
+        let device = DeviceConfig::a5000();
+        let dnn = models::dcgan(1);
+        let cost_model = pretrained_cost_model(&device, ModelQuality::Fast);
+        let mut opt = Optimizer::new(extract_subgraphs(&dnn), cost_model, device);
+        let err = opt.load_configs(std::io::BufReader::new(&b"bad line without tabs\n"[..]));
+        assert!(err.is_err());
+        // Comments and blank lines are fine.
+        let ok = opt.load_configs(std::io::BufReader::new(&b"# comment\n\n"[..]));
+        assert_eq!(ok.expect("comments ok"), 0);
+    }
+
+    #[test]
+    fn tuning_improves_over_rounds() {
+        let device = DeviceConfig::a5000();
+        let dnn = models::dcgan(1);
+        let graphs = extract_subgraphs(&dnn);
+        let cost_model = pretrained_cost_model(&device, ModelQuality::Fast);
+        let mut opt = Optimizer::with_options(
+            graphs,
+            cost_model,
+            device,
+            FelixOptions { n_seeds: 2, n_steps: 25, ..Default::default() },
+        );
+        let n_tasks = opt.tasks().len();
+        let res = opt.optimize_all(n_tasks * 2, 6);
+        let first = res.curve.first().expect("curve").latency_ms;
+        let last = res.curve.last().expect("curve").latency_ms;
+        assert!(last <= first, "latency must not regress: {first} -> {last}");
+    }
+}

@@ -1,0 +1,383 @@
+//! The differentiable subgraph objective (paper §3.3–§3.4).
+//!
+//! For each symbolic sketch this module builds the pipeline that makes
+//! Equation 4 differentiable end to end:
+//!
+//! 1. log-transform every feature formula (`ln(1+f)`),
+//! 2. rewrite non-differentiable operators into smooth ones (Fig. 4),
+//! 3. substitute `x = e^y` for every schedule variable,
+//! 4. simplify with the equality-saturation rewriter (logs distribute,
+//!    `log∘exp` cancels, products of tile sizes become sums of `y`),
+//! 5. keep the validity constraints as penalty expressions `g(y)`.
+//!
+//! [`SketchObjective::cost_and_grad`] then composes the MLP cost model with
+//! the feature DAG: the MLP's input gradient seeds one reverse-mode sweep
+//! over the expression pool, yielding `∂O/∂y` for every seed in a single
+//! pass — exactly the AutoDiff step of Algorithm 1.
+
+use felix_cost::Mlp;
+use felix_expr::autodiff::GradOptions;
+use felix_expr::rewrite::simplify_with_limits;
+use felix_expr::subst::exp_substitution;
+use felix_expr::{smooth_all, ExprId, VarId};
+use felix_egraph::RunnerLimits;
+use felix_tir::Program;
+use std::collections::HashMap;
+
+/// Which stages of the differentiable-rewriting pipeline to apply — all on
+/// by default; individual stages can be disabled for the ablation studies
+/// (DESIGN.md §5).
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineOptions {
+    /// Replace non-differentiable operators by smooth ones (§3.3, Fig. 4).
+    /// When disabled, gradients fall back to subgradients.
+    pub smoothing: bool,
+    /// Log-transform features (`ln(1+f)`).
+    pub log_features: bool,
+    /// The `x = e^y` exponential substitution. When disabled, optimization
+    /// runs directly over `x`.
+    pub exp_substitution: bool,
+    /// Equality-saturation simplification of the rewritten formulas.
+    pub simplify: bool,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            smoothing: true,
+            log_features: true,
+            exp_substitution: true,
+            simplify: true,
+        }
+    }
+}
+
+/// The differentiable objective of one sketch.
+#[derive(Clone, Debug)]
+pub struct SketchObjective {
+    /// A clone of the sketch's program whose pool holds the rewritten DAG.
+    pub program: Program,
+    /// Smoothed, substituted, simplified `ln(1+feature_k)` roots.
+    pub log_feat_roots: Vec<ExprId>,
+    /// Penalty expressions `g_r(y)` (legal iff `g_r <= 0`).
+    pub penalty_roots: Vec<ExprId>,
+    /// Mapping from original variable `x` to its log-space variable `y`.
+    pub x_to_y: HashMap<VarId, VarId>,
+    /// Optimization variables, in the order of the original schedule vars.
+    pub y_vars: Vec<VarId>,
+    /// Pipeline stages this objective was built with.
+    pub pipeline: PipelineOptions,
+}
+
+impl SketchObjective {
+    /// Builds the objective for a sketch program (the program is cloned and
+    /// its pool extended with the rewritten DAG).
+    pub fn build(sketch_program: &Program, features: &[ExprId]) -> Self {
+        Self::build_with(sketch_program, features, PipelineOptions::default())
+    }
+
+    /// [`SketchObjective::build`] with explicit pipeline stages (for the
+    /// ablation studies).
+    pub fn build_with(
+        sketch_program: &Program,
+        features: &[ExprId],
+        pipeline: PipelineOptions,
+    ) -> Self {
+        let mut program = sketch_program.clone();
+        // 1. log-transform features.
+        let logfeats: Vec<ExprId> = if pipeline.log_features {
+            features.iter().map(|&f| program.pool.log1p(f)).collect()
+        } else {
+            features.to_vec()
+        };
+        // 2. smooth features and constraints together (shared memo).
+        let constraint_roots: Vec<ExprId> =
+            program.constraints.iter().map(|c| c.expr).collect();
+        let mut roots = logfeats;
+        let n_feats = roots.len();
+        roots.extend(constraint_roots);
+        let smoothed = if pipeline.smoothing {
+            smooth_all(&mut program.pool, &roots)
+        } else {
+            roots
+        };
+        // 3. exponential substitution for every schedule variable.
+        let xs: Vec<VarId> = program.sched_vars.iter().map(|sv| sv.var).collect();
+        let (substituted, x_to_y) = if pipeline.exp_substitution {
+            let mut vars = std::mem::take(&mut program.vars);
+            let (r, m) =
+                exp_substitution(&mut program.pool, &mut vars, &smoothed, &xs);
+            program.vars = vars;
+            (r, m)
+        } else {
+            // Identity "substitution": optimize x directly.
+            (smoothed, xs.iter().map(|&x| (x, x)).collect())
+        };
+        // 4. equality-saturation simplification (log/exp cancellation).
+        let simplified = if pipeline.simplify {
+            let limits = RunnerLimits { max_iters: 12, max_nodes: 80_000 };
+            simplify_with_limits(&mut program.pool, &substituted, limits)
+        } else {
+            substituted
+        };
+        let log_feat_roots = simplified[..n_feats].to_vec();
+        let penalty_roots = simplified[n_feats..].to_vec();
+        let y_vars = xs.iter().map(|x| x_to_y[x]).collect();
+        SketchObjective {
+            program,
+            log_feat_roots,
+            penalty_roots,
+            x_to_y,
+            y_vars,
+            pipeline,
+        }
+    }
+
+    /// Number of optimization variables.
+    pub fn n_vars(&self) -> usize {
+        self.y_vars.len()
+    }
+
+    /// The original `x` variable behind optimization slot `i`.
+    fn x_var(&self, i: usize) -> VarId {
+        let y = self.y_vars[i];
+        self.x_to_y
+            .iter()
+            .find(|(_, &yy)| yy == y)
+            .map(|(&x, _)| x)
+            .expect("y var has an x source")
+    }
+
+    /// Converts a concrete x-space schedule into the y-space starting point.
+    pub fn to_y_space(&self, x_vals: &[f64]) -> Vec<f64> {
+        (0..self.y_vars.len())
+            .map(|i| {
+                let x = x_vals[self.x_var(i).index()].max(1.0);
+                if self.pipeline.exp_substitution {
+                    x.ln()
+                } else {
+                    x
+                }
+            })
+            .collect()
+    }
+
+    /// Converts a y-space point into the full x-space variable vector
+    /// (relaxed, not yet rounded) sized for the *original* program.
+    pub fn to_x_space(&self, y: &[f64], n_orig_vars: usize) -> Vec<f64> {
+        let mut x_vals = vec![1.0; n_orig_vars];
+        for (i, &yv) in y.iter().enumerate() {
+            x_vals[self.x_var(i).index()] =
+                if self.pipeline.exp_substitution { yv.exp() } else { yv };
+        }
+        x_vals
+    }
+
+    /// Assembles the full variable-value vector for pool evaluation.
+    fn full_values(&self, y: &[f64]) -> Vec<f64> {
+        let mut vals = vec![1.0; self.program.vars.len()];
+        for (i, &yv) in self.y_vars.iter().enumerate() {
+            vals[yv.index()] = y[i];
+        }
+        vals
+    }
+
+    /// Evaluates `O(y)` and `∂O/∂y` (Eqn. 4): `O = −C(feat(y)) +
+    /// λ Σ max(g_r(y), 0)²`.
+    ///
+    /// Returns `(objective, predicted_score, gradient)`.
+    pub fn cost_and_grad(
+        &self,
+        model: &Mlp,
+        lambda: f64,
+        y: &[f64],
+    ) -> (f64, f64, Vec<f64>) {
+        let vals = self.full_values(y);
+        let node_vals = self.program.pool.eval_all(&vals);
+        let feats: Vec<f64> = self
+            .log_feat_roots
+            .iter()
+            .map(|e| node_vals[e.index()])
+            .collect();
+        let (score, dscore) = model.input_gradient(&feats);
+        // Seeds: features get −∂C/∂feat; penalties get λ·2·max(g,0)
+        // (the analytic derivative of max(g,0)², which is differentiable).
+        let mut seeds: Vec<(ExprId, f64)> = self
+            .log_feat_roots
+            .iter()
+            .zip(&dscore)
+            .map(|(&e, &d)| (e, -d))
+            .collect();
+        let mut penalty_val = 0.0;
+        for &g in &self.penalty_roots {
+            let gv = node_vals[g.index()];
+            if gv > 0.0 {
+                penalty_val += lambda * gv * gv;
+                seeds.push((g, lambda * 2.0 * gv));
+            }
+        }
+        let grads = self
+            .program
+            .pool
+            .grad_multi_with_values(
+                &seeds,
+                node_vals,
+                self.program.vars.len(),
+                GradOptions { subgradient: !self.pipeline.smoothing },
+            )
+            .expect("objective DAG is smooth by construction");
+        let grad: Vec<f64> = self.y_vars.iter().map(|&v| grads.var(v)).collect();
+        let objective = -score + penalty_val;
+        (objective, score, grad)
+    }
+
+    /// Evaluates only the objective value (for testing against numeric
+    /// gradients).
+    pub fn cost(&self, model: &Mlp, lambda: f64, y: &[f64]) -> f64 {
+        let vals = self.full_values(y);
+        let node_vals = self.program.pool.eval_all(&vals);
+        let feats: Vec<f64> = self
+            .log_feat_roots
+            .iter()
+            .map(|e| node_vals[e.index()])
+            .collect();
+        let score = model.predict(&feats);
+        let mut penalty = 0.0;
+        for &g in &self.penalty_roots {
+            let gv = node_vals[g.index()];
+            if gv > 0.0 {
+                penalty += lambda * gv * gv;
+            }
+        }
+        -score + penalty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use felix_features::extract_features;
+    use felix_graph::lower::lower_subgraph;
+    use felix_graph::{Op, Subgraph};
+    use felix_tir::sketch::{multi_level_tiling_sketch, HardwareParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build_dense_objective() -> (SketchObjective, Program) {
+        let sg = Subgraph { ops: vec![Op::Dense { m: 512, k: 512, n: 512 }] };
+        let p0 = lower_subgraph(&sg);
+        let sk = multi_level_tiling_sketch(&p0, &HardwareParams::default());
+        let mut program = sk.program;
+        let fs = extract_features(&mut program);
+        let obj = SketchObjective::build(&program, &fs.exprs);
+        (obj, program)
+    }
+
+    #[test]
+    fn objective_roots_are_smooth() {
+        let (obj, _) = build_dense_objective();
+        for &r in obj.log_feat_roots.iter().chain(&obj.penalty_roots) {
+            assert!(felix_expr::is_smooth(&obj.program.pool, r));
+        }
+    }
+
+    #[test]
+    fn feature_values_match_original_at_integer_points() {
+        // At a valid integer schedule the smoothed log-features must closely
+        // match ln(1+exact feature) — smoothing only blurs near breakpoints.
+        let sg = Subgraph { ops: vec![Op::Dense { m: 512, k: 512, n: 512 }] };
+        let p0 = lower_subgraph(&sg);
+        let sk = multi_level_tiling_sketch(&p0, &HardwareParams::default());
+        let mut program = sk.program;
+        let fs = extract_features(&mut program);
+        let obj = SketchObjective::build(&program, &fs.exprs);
+        let x = vec![2.0, 16.0, 4.0, 2.0, 16.0, 4.0, 8.0, 64.0];
+        let exact = fs.eval(&program, &x);
+        let y: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+        let vals = obj.full_values(&y);
+        let node_vals = obj.program.pool.eval_all(&vals);
+        let mut close = 0;
+        for (k, &root) in obj.log_feat_roots.iter().enumerate() {
+            let smooth_val = node_vals[root.index()];
+            let exact_log = (1.0 + exact[k]).ln();
+            if (smooth_val - exact_log).abs() < 0.35 * (1.0 + exact_log.abs()) {
+                close += 1;
+            }
+        }
+        assert!(close >= 75, "only {close}/82 smoothed features near exact");
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let (obj, _) = build_dense_objective();
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Mlp::new(&mut rng);
+        let y: Vec<f64> = vec![0.5, 2.3, 1.1, 0.4, 2.0, 1.3, 1.9, 3.5];
+        let lambda = 1.0;
+        let (cost, _, grad) = obj.cost_and_grad(&model, lambda, &y);
+        // The cost model is f32, so numeric differences carry ~1e-7/eps of
+        // float noise; use a wide step and compare directionally too.
+        let eps = 5e-3;
+        let mut dot = 0.0;
+        let mut na = 0.0;
+        let mut nb = 0.0;
+        for i in 0..y.len() {
+            let mut yp = y.clone();
+            yp[i] += eps;
+            let hi = obj.cost(&model, lambda, &yp);
+            yp[i] -= 2.0 * eps;
+            let lo = obj.cost(&model, lambda, &yp);
+            let num = (hi - lo) / (2.0 * eps);
+            assert!(
+                (grad[i] - num).abs() < 0.02 + 0.15 * num.abs(),
+                "var {i}: ad {} vs numeric {num} (cost {cost})",
+                grad[i]
+            );
+            dot += grad[i] * num;
+            na += grad[i] * grad[i];
+            nb += num * num;
+        }
+        let cosine = dot / (na.sqrt() * nb.sqrt()).max(1e-12);
+        assert!(cosine > 0.95, "gradient direction off: cosine {cosine}");
+    }
+
+    #[test]
+    fn penalties_activate_outside_feasible_region() {
+        let (obj, _) = build_dense_objective();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = Mlp::new(&mut rng);
+        // Feasible-ish point vs. threads blown to 512x512.
+        let ok = vec![0.5, 2.3, 1.1, 0.4, 2.0, 1.3, 1.9, 3.5];
+        let bad = vec![0.5, 6.3, 1.1, 0.4, 6.3, 1.3, 1.9, 3.5];
+        let c_ok = obj.cost(&model, 1.0, &ok);
+        let c_bad = obj.cost(&model, 1.0, &bad);
+        assert!(c_bad > c_ok + 10.0, "penalty must dominate: {c_ok} vs {c_bad}");
+    }
+
+    #[test]
+    fn x_y_round_trips() {
+        let (obj, program) = build_dense_objective();
+        let x = vec![2.0, 16.0, 4.0, 2.0, 16.0, 4.0, 8.0, 64.0];
+        let y = obj.to_y_space(&x);
+        let x2 = obj.to_x_space(&y, program.vars.len());
+        for (a, b) in x.iter().zip(&x2) {
+            assert!((a - b).abs() < 1e-9, "{x:?} vs {x2:?}");
+        }
+    }
+
+    #[test]
+    fn substitution_eliminates_x_vars() {
+        let (obj, _) = build_dense_objective();
+        let free = obj
+            .program
+            .pool
+            .free_vars(&[obj.log_feat_roots.clone(), obj.penalty_roots.clone()].concat());
+        for sv in &obj.program.sched_vars {
+            assert!(
+                !free.contains(&sv.var),
+                "original schedule var {:?} must be substituted away",
+                sv.var
+            );
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Timing probe for the heaviest pipeline pieces, used when calibrating
+//! experiment scales; also guards against pathological slowdowns.
+
+use felix::objective::SketchObjective;
+use felix_features::extract_features;
+use felix_graph::lower::lower_subgraph;
+use felix_graph::{Op, Subgraph};
+use felix_tir::sketch::{generate_sketches, HardwareParams};
+use std::time::Instant;
+
+#[test]
+fn conv2d_objective_builds_quickly() {
+    let sg = Subgraph {
+        ops: vec![Op::Conv2d { n: 1, c: 128, k: 256, h: 28, r: 3, stride: 1, pad: 1, groups: 1 }],
+    };
+    let p0 = lower_subgraph(&sg);
+    let t0 = Instant::now();
+    let sketches = generate_sketches(&p0, &HardwareParams::default());
+    let sketch_time = t0.elapsed();
+    let mut total_nodes = 0;
+    for sk in sketches {
+        let mut p = sk.program;
+        let t1 = Instant::now();
+        let fs = extract_features(&mut p);
+        let feat_time = t1.elapsed();
+        let t2 = Instant::now();
+        let obj = SketchObjective::build(&p, &fs.exprs);
+        let build_time = t2.elapsed();
+        total_nodes += obj.program.pool.len();
+        let t3 = Instant::now();
+        let model = {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+            felix_cost::Mlp::new(&mut rng)
+        };
+        let y = vec![1.0; obj.n_vars()];
+        for _ in 0..10 {
+            let _ = obj.cost_and_grad(&model, 1.0, &y);
+        }
+        let grad_time = t3.elapsed() / 10;
+        eprintln!(
+            "sketch {}: feat {:?}, build {:?}, grad-step {:?}, pool {} nodes",
+            sk.name,
+            feat_time,
+            build_time,
+            grad_time,
+            obj.program.pool.len()
+        );
+        assert!(build_time.as_secs_f64() < 20.0, "objective build too slow");
+        assert!(grad_time.as_secs_f64() < 0.05, "gradient step too slow");
+    }
+    eprintln!("sketch gen {:?}, total pool nodes {}", sketch_time, total_nodes);
+}

@@ -1,0 +1,226 @@
+//! Offline pretraining and online fine-tuning of the cost model.
+
+use crate::{AdamState, Mlp, Sample};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which training objective to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LossKind {
+    /// Mean squared error on the score (simple, our default).
+    #[default]
+    Mse,
+    /// TenSet's pairwise logistic ranking loss — only the *ordering* of
+    /// schedules matters for search.
+    PairwiseRank,
+}
+
+/// Training hyperparameters (TenSet defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Epoch count.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+    /// Training objective.
+    pub loss: LossKind,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 30, batch_size: 128, lr: 7e-4, seed: 0, loss: LossKind::Mse }
+    }
+}
+
+/// Pretrains a model on a dataset; returns per-epoch mean training loss.
+///
+/// Fits input normalization before the first epoch.
+pub fn pretrain(mlp: &mut Mlp, samples: &[Sample], cfg: &TrainConfig) -> Vec<f64> {
+    assert!(!samples.is_empty(), "cannot train on an empty dataset");
+    let inputs: Vec<Vec<f64>> = samples.iter().map(|s| s.logfeats.clone()).collect();
+    mlp.fit_normalization(&inputs);
+    let mut adam = AdamState::for_model(mlp);
+    run_epochs(mlp, samples, cfg, &mut adam)
+}
+
+/// Online fine-tuning on newly measured schedules (Algorithm 1 line 24):
+/// a few epochs at a reduced learning rate, keeping the existing
+/// normalization.
+pub fn fine_tune(mlp: &mut Mlp, samples: &[Sample], epochs: usize, lr: f32) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: samples.len().min(64),
+        lr,
+        seed: 1,
+        loss: LossKind::Mse,
+    };
+    let mut adam = AdamState::for_model(mlp);
+    let losses = run_epochs(mlp, samples, &cfg, &mut adam);
+    *losses.last().unwrap_or(&0.0)
+}
+
+fn run_epochs(
+    mlp: &mut Mlp,
+    samples: &[Sample],
+    cfg: &TrainConfig,
+    adam: &mut AdamState,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    for _ in 0..cfg.epochs {
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut total = 0.0;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let inputs: Vec<Vec<f64>> =
+                chunk.iter().map(|&i| samples[i].logfeats.clone()).collect();
+            let targets: Vec<f64> = chunk.iter().map(|&i| samples[i].score).collect();
+            let (mut gw, mut gb) = mlp.zero_grads();
+            let loss = match cfg.loss {
+                LossKind::Mse => mlp.loss_and_param_grads(&inputs, &targets, &mut gw, &mut gb),
+                LossKind::PairwiseRank => {
+                    mlp.rank_loss_and_param_grads(&inputs, &targets, &mut gw, &mut gb)
+                }
+            };
+            mlp.apply_adam(&gw, &gb, adam, cfg.lr);
+            total += loss;
+            batches += 1;
+        }
+        epoch_losses.push(total / batches.max(1) as f64);
+    }
+    epoch_losses
+}
+
+/// Mean-squared error of the model on a sample set.
+pub fn evaluate_mse(mlp: &Mlp, samples: &[Sample]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples
+        .iter()
+        .map(|s| {
+            let p = mlp.predict(&s.logfeats);
+            (p - s.score).powi(2)
+        })
+        .sum::<f64>()
+        / samples.len() as f64
+}
+
+/// Spearman-style rank correlation between predictions and targets — the
+/// metric that matters for search (ordering schedules correctly).
+pub fn rank_correlation(mlp: &Mlp, samples: &[Sample]) -> f64 {
+    let preds: Vec<f64> = samples.iter().map(|s| mlp.predict(&s.logfeats)).collect();
+    let targets: Vec<f64> = samples.iter().map(|s| s.score).collect();
+    spearman(&preds, &targets)
+}
+
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite"));
+    let mut r = vec![0.0; xs.len()];
+    for (rank, &i) in idx.iter().enumerate() {
+        r[i] = rank as f64;
+    }
+    r
+}
+
+/// Spearman rank correlation of two equal-length vectors.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.len() < 2 {
+        return 1.0;
+    }
+    let (ra, rb) = (ranks(a), ranks(b));
+    let n = a.len() as f64;
+    let mean = (n - 1.0) / 2.0;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for i in 0..a.len() {
+        let xa = ra[i] - mean;
+        let xb = rb[i] - mean;
+        num += xa * xb;
+        da += xa * xa;
+        db += xb * xb;
+    }
+    num / (da.sqrt() * db.sqrt()).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_dataset;
+    use felix_sim::DeviceConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pretraining_learns_simulator_ordering() {
+        // Small corpus, few epochs: the model must reach a solid rank
+        // correlation on held-out data (full-scale training happens in the
+        // experiment harness).
+        let ds = generate_dataset(&DeviceConfig::a5000(), 12, 24, 11);
+        let (train, val) = ds.split(0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mlp = Mlp::new(&mut rng);
+        let cfg = TrainConfig { epochs: 25, batch_size: 64, lr: 1e-3, seed: 2, ..Default::default() };
+        let losses = pretrain(&mut mlp, &train, &cfg);
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.3),
+            "loss {:?} should drop",
+            (losses[0], losses[losses.len() - 1])
+        );
+        let rho = rank_correlation(&mlp, &val);
+        assert!(rho > 0.7, "validation rank correlation {rho} too low");
+    }
+
+    #[test]
+    fn fine_tune_improves_local_fit() {
+        let ds = generate_dataset(&DeviceConfig::a5000(), 6, 16, 13);
+        let (train, _) = ds.split(0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut mlp = Mlp::new(&mut rng);
+        pretrain(&mut mlp, &train, &TrainConfig { epochs: 8, batch_size: 64, lr: 1e-3, seed: 3, ..Default::default() });
+        // Fine-tune on a small "measured" subset and check local MSE drops.
+        let subset: Vec<Sample> = train[..16].to_vec();
+        let before = evaluate_mse(&mlp, &subset);
+        fine_tune(&mut mlp, &subset, 12, 3e-4);
+        let after = evaluate_mse(&mlp, &subset);
+        assert!(after < before, "fine-tune {before} -> {after}");
+    }
+
+    #[test]
+    fn rank_loss_learns_ordering() {
+        let ds = generate_dataset(&DeviceConfig::a5000(), 10, 20, 21);
+        let (train, val) = ds.split(0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut mlp = Mlp::new(&mut rng);
+        let cfg = TrainConfig {
+            epochs: 20,
+            batch_size: 64,
+            lr: 1e-3,
+            seed: 4,
+            loss: LossKind::PairwiseRank,
+        };
+        pretrain(&mut mlp, &train, &cfg);
+        let rho = rank_correlation(&mlp, &val);
+        assert!(rho > 0.65, "rank-loss validation correlation {rho}");
+    }
+
+    #[test]
+    fn spearman_basics() {
+        assert!((spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-12);
+        assert!((spearman(&[1.0, 2.0, 3.0], &[30.0, 20.0, 10.0]) + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,165 @@
+//! Constant-folding analysis, in the spirit of egg's e-class analyses.
+//!
+//! Languages whose operators have evaluable semantics implement
+//! [`ConstLang`]; [`fold_constants`] then propagates constant values through
+//! the e-graph to a fixpoint and inserts a literal constant node into every
+//! class whose value is fully determined, so extraction can always pick the
+//! folded form.
+
+use crate::{EGraph, Id, Language};
+use std::collections::HashMap;
+
+/// A language with evaluable constants.
+pub trait ConstLang: Language {
+    /// The constant value of this node, if it is a literal.
+    fn literal_value(&self) -> Option<f64>;
+    /// Evaluates the operator given constant child values (`None` when any
+    /// child is not constant or the operator has no constant semantics).
+    fn eval_const(&self, children: &[f64]) -> Option<f64>;
+    /// Constructs a literal node for a value.
+    fn make_literal(v: f64) -> Self;
+}
+
+/// Propagates constants to a fixpoint and materializes a literal in every
+/// constant-valued class. Returns the number of classes folded.
+///
+/// The e-graph is rebuilt before returning.
+pub fn fold_constants<L: ConstLang>(egraph: &mut EGraph<L>) -> usize {
+    // Fixpoint: compute the constant value of every class.
+    let mut values: HashMap<Id, f64> = HashMap::new();
+    loop {
+        let mut changed = false;
+        for class in egraph.classes() {
+            let id = egraph.find(class.id);
+            if values.contains_key(&id) {
+                continue;
+            }
+            'nodes: for node in &class.nodes {
+                if let Some(v) = node.literal_value() {
+                    values.insert(id, v);
+                    changed = true;
+                    break 'nodes;
+                }
+                let mut child_vals = Vec::with_capacity(node.children().len());
+                for c in node.children() {
+                    match values.get(&egraph.find(*c)) {
+                        Some(v) => child_vals.push(*v),
+                        None => continue 'nodes,
+                    }
+                }
+                if let Some(v) = node.eval_const(&child_vals) {
+                    if v.is_finite() {
+                        values.insert(id, v);
+                        changed = true;
+                        break 'nodes;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Materialize literals (skip classes that already contain one).
+    let mut folded = 0;
+    let entries: Vec<(Id, f64)> = values.into_iter().collect();
+    for (id, v) in entries {
+        let already = egraph
+            .class(id)
+            .nodes
+            .iter()
+            .any(|n| n.literal_value() == Some(v));
+        if already {
+            continue;
+        }
+        let lit = egraph.add(L::make_literal(v));
+        egraph.union(id, lit);
+        folded += 1;
+    }
+    egraph.rebuild();
+    folded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymbolLang;
+
+    impl ConstLang for SymbolLang {
+        fn literal_value(&self) -> Option<f64> {
+            if self.children.is_empty() {
+                self.op.parse().ok()
+            } else {
+                None
+            }
+        }
+        fn eval_const(&self, children: &[f64]) -> Option<f64> {
+            match (self.op.as_str(), children) {
+                ("+", [a, b]) => Some(a + b),
+                ("*", [a, b]) => Some(a * b),
+                ("-", [a, b]) => Some(a - b),
+                _ => None,
+            }
+        }
+        fn make_literal(v: f64) -> Self {
+            SymbolLang::leaf(format!("{v}"))
+        }
+    }
+
+    #[test]
+    fn folds_nested_arithmetic() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let two = eg.add(SymbolLang::leaf("2"));
+        let three = eg.add(SymbolLang::leaf("3"));
+        let five = eg.add(SymbolLang::new("+", vec![two, three]));
+        let ten = eg.add(SymbolLang::new("*", vec![five, two]));
+        let folded = fold_constants(&mut eg);
+        assert!(folded >= 2);
+        let lit5 = eg.lookup(SymbolLang::leaf("5")).expect("5 exists");
+        assert_eq!(eg.find(lit5), eg.find(five));
+        let lit10 = eg.lookup(SymbolLang::leaf("10")).expect("10 exists");
+        assert_eq!(eg.find(lit10), eg.find(ten));
+    }
+
+    #[test]
+    fn leaves_symbolic_classes_alone() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let x = eg.add(SymbolLang::leaf("x"));
+        let two = eg.add(SymbolLang::leaf("2"));
+        let sum = eg.add(SymbolLang::new("+", vec![x, two]));
+        fold_constants(&mut eg);
+        // x + 2 has no constant value; its class must not gain a literal.
+        assert!(eg
+            .class(eg.find(sum))
+            .nodes
+            .iter()
+            .all(|n| n.literal_value().is_none() || !n.children.is_empty()));
+    }
+
+    #[test]
+    fn folding_is_idempotent() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let two = eg.add(SymbolLang::leaf("2"));
+        let three = eg.add(SymbolLang::leaf("3"));
+        eg.add(SymbolLang::new("+", vec![two, three]));
+        let first = fold_constants(&mut eg);
+        let second = fold_constants(&mut eg);
+        assert!(first >= 1);
+        assert_eq!(second, 0, "second pass has nothing to fold");
+    }
+
+    #[test]
+    fn folding_feeds_congruence() {
+        // f(2+3) and f(5) must merge once folding runs.
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let two = eg.add(SymbolLang::leaf("2"));
+        let three = eg.add(SymbolLang::leaf("3"));
+        let sum = eg.add(SymbolLang::new("+", vec![two, three]));
+        let five = eg.add(SymbolLang::leaf("5"));
+        let f_sum = eg.add(SymbolLang::new("f", vec![sum]));
+        let f_five = eg.add(SymbolLang::new("f", vec![five]));
+        assert_ne!(eg.find(f_sum), eg.find(f_five));
+        fold_constants(&mut eg);
+        assert_eq!(eg.find(f_sum), eg.find(f_five));
+    }
+}

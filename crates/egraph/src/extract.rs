@@ -1,0 +1,171 @@
+//! Best-term extraction from a saturated e-graph.
+
+use crate::{EGraph, Id, Language};
+use std::collections::HashMap;
+
+/// Extracts the lowest-cost concrete term for each e-class.
+///
+/// The cost of a node is `cost_fn(node, child_costs)`; the extractor runs a
+/// fixpoint (Bellman-Ford style) over classes, so cycles in the e-graph are
+/// handled as long as at least one acyclic derivation exists per class.
+pub struct Extractor<'a, L: Language, F> {
+    egraph: &'a EGraph<L>,
+    cost_fn: F,
+    best: HashMap<Id, (f64, L)>,
+}
+
+impl<'a, L: Language, F: Fn(&L, &[f64]) -> f64> Extractor<'a, L, F> {
+    /// Builds the extractor and computes best costs for every class.
+    pub fn new(egraph: &'a EGraph<L>, cost_fn: F) -> Self {
+        let mut ex = Extractor { egraph, cost_fn, best: HashMap::new() };
+        ex.fixpoint();
+        ex
+    }
+
+    fn node_cost(&self, node: &L) -> Option<f64> {
+        let mut child_costs = Vec::with_capacity(node.children().len());
+        for c in node.children() {
+            let c = self.egraph.find(*c);
+            match self.best.get(&c) {
+                Some((cost, _)) => child_costs.push(*cost),
+                None => return None,
+            }
+        }
+        Some((self.cost_fn)(node, &child_costs))
+    }
+
+    fn fixpoint(&mut self) {
+        loop {
+            let mut changed = false;
+            for class in self.egraph.classes() {
+                let id = self.egraph.find(class.id);
+                for node in &class.nodes {
+                    if let Some(cost) = self.node_cost(node) {
+                        let better = match self.best.get(&id) {
+                            Some((old, _)) => cost < *old - 1e-12,
+                            None => true,
+                        };
+                        if better {
+                            self.best.insert(id, (cost, node.clone()));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// The best cost for `id`'s class, if any finite derivation exists.
+    pub fn best_cost(&self, id: Id) -> Option<f64> {
+        self.best.get(&self.egraph.find(id)).map(|(c, _)| *c)
+    }
+
+    /// Extracts the best term rooted at `id` as a post-order node list
+    /// (children index into the returned vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class has no extractable derivation.
+    pub fn extract(&self, id: Id) -> Vec<L> {
+        let mut out = Vec::new();
+        let mut memo: HashMap<Id, u32> = HashMap::new();
+        self.extract_rec(self.egraph.find(id), &mut out, &mut memo);
+        out
+    }
+
+    fn extract_rec(&self, id: Id, out: &mut Vec<L>, memo: &mut HashMap<Id, u32>) -> u32 {
+        if let Some(&idx) = memo.get(&id) {
+            return idx;
+        }
+        let (_, node) = self
+            .best
+            .get(&id)
+            .unwrap_or_else(|| panic!("no extractable term for class {id}"));
+        let mut node = node.clone();
+        let children: Vec<Id> = node.children().to_vec();
+        let mut child_idxs = Vec::with_capacity(children.len());
+        for c in children {
+            child_idxs.push(self.extract_rec(self.egraph.find(c), out, memo));
+        }
+        for (slot, idx) in node.children_mut().iter_mut().zip(child_idxs) {
+            *slot = Id(idx);
+        }
+        out.push(node);
+        let idx = (out.len() - 1) as u32;
+        memo.insert(id, idx);
+        idx
+    }
+}
+
+/// Cost function counting AST nodes (each node costs 1 plus its children).
+pub fn ast_size<L: Language>(_node: &L, child_costs: &[f64]) -> f64 {
+    1.0 + child_costs.iter().sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::parse_symbol_pattern as pat;
+    use crate::rewrite::{Rule, Runner};
+    use crate::SymbolLang;
+
+    #[test]
+    fn extracts_smaller_equivalent() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let x = eg.add(SymbolLang::leaf("x"));
+        let zero = eg.add(SymbolLang::leaf("0"));
+        let add = eg.add(SymbolLang::new("+", vec![x, zero]));
+        Runner::new(vec![Rule::new("add-zero", pat("(+ ?a 0)"), pat("?a"))]).run(&mut eg);
+        let ex = Extractor::new(&eg, ast_size::<SymbolLang>);
+        let term = ex.extract(add);
+        assert_eq!(term.len(), 1);
+        assert_eq!(term[0].op, "x");
+        assert_eq!(ex.best_cost(add), Some(1.0));
+    }
+
+    #[test]
+    fn extraction_is_post_order() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let x = eg.add(SymbolLang::leaf("x"));
+        let y = eg.add(SymbolLang::leaf("y"));
+        let add = eg.add(SymbolLang::new("+", vec![x, y]));
+        let ex = Extractor::new(&eg, ast_size::<SymbolLang>);
+        let term = ex.extract(add);
+        assert_eq!(term.len(), 3);
+        assert_eq!(term[2].op, "+");
+        let c = &term[2].children;
+        assert!(c.iter().all(|i| (i.0 as usize) < 2));
+    }
+
+    #[test]
+    fn shared_subterms_extracted_once() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let x = eg.add(SymbolLang::leaf("x"));
+        let sq = eg.add(SymbolLang::new("*", vec![x, x]));
+        let ex = Extractor::new(&eg, ast_size::<SymbolLang>);
+        let term = ex.extract(sq);
+        // x appears once thanks to memoization: [x, (* 0 0)].
+        assert_eq!(term.len(), 2);
+    }
+
+    #[test]
+    fn custom_cost_prefers_cheap_op() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let x = eg.add(SymbolLang::leaf("x"));
+        let two = eg.add(SymbolLang::leaf("2"));
+        let mul = eg.add(SymbolLang::new("*", vec![x, two]));
+        let shl = eg.add(SymbolLang::new("<<1", vec![x]));
+        eg.union(mul, shl);
+        eg.rebuild();
+        let cost = |n: &SymbolLang, cc: &[f64]| {
+            let op_cost = if n.op == "*" { 10.0 } else { 1.0 };
+            op_cost + cc.iter().sum::<f64>()
+        };
+        let ex = Extractor::new(&eg, cost);
+        let term = ex.extract(mul);
+        assert_eq!(term.last().unwrap().op, "<<1");
+    }
+}

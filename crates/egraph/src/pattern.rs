@@ -1,0 +1,330 @@
+//! Patterns and e-matching.
+//!
+//! A [`Pattern`] is a term over the language extended with pattern variables.
+//! Patterns are stored as a flat post-order node list (children refer to
+//! earlier indices), mirroring egg's `RecExpr<ENodeOrVar<L>>`.
+
+use crate::{EGraph, Id, Language};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A pattern variable, e.g. `?x`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PatVar(pub u32);
+
+impl fmt::Display for PatVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// One node in a pattern: either a variable or an operator application whose
+/// child [`Id`]s index into the pattern's own node list.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PatternNode<L> {
+    /// Matches any e-class; repeated occurrences must match the same class.
+    Var(PatVar),
+    /// Matches an e-node with the same operator whose children match.
+    App(L),
+}
+
+/// A pattern over language `L`: a flat post-order term with variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Pattern<L> {
+    nodes: Vec<PatternNode<L>>,
+}
+
+/// A substitution from pattern variables to e-class ids.
+pub type Subst = HashMap<PatVar, Id>;
+
+impl<L: Language> Pattern<L> {
+    /// Builds a pattern from its post-order node list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `App` child index is not strictly smaller than the
+    /// node's own index (i.e. the list is not post-order), or if empty.
+    pub fn from_nodes(nodes: Vec<PatternNode<L>>) -> Self {
+        assert!(!nodes.is_empty(), "pattern must have at least one node");
+        for (i, n) in nodes.iter().enumerate() {
+            if let PatternNode::App(app) = n {
+                for c in app.children() {
+                    assert!(
+                        (c.0 as usize) < i,
+                        "pattern children must be post-order"
+                    );
+                }
+            }
+        }
+        Pattern { nodes }
+    }
+
+    /// The root node (last in post-order).
+    pub fn root(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// All nodes of the pattern.
+    pub fn nodes(&self) -> &[PatternNode<L>] {
+        &self.nodes
+    }
+
+    /// The set of variables appearing in the pattern.
+    pub fn vars(&self) -> Vec<PatVar> {
+        let mut vs: Vec<PatVar> = self
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                PatternNode::Var(v) => Some(*v),
+                PatternNode::App(_) => None,
+            })
+            .collect();
+        vs.sort();
+        vs.dedup();
+        vs
+    }
+
+    /// Finds all matches of this pattern anywhere in the e-graph.
+    ///
+    /// Returns `(matched_class, substitution)` pairs. The e-graph must be
+    /// clean (call [`EGraph::rebuild`] after unions).
+    pub fn search<'a>(&self, egraph: &'a EGraph<L>) -> Vec<(Id, Subst)> {
+        let mut out = Vec::new();
+        for class in egraph.classes() {
+            let id = egraph.find(class.id);
+            for subst in self.search_class(egraph, id) {
+                out.push((id, subst));
+            }
+        }
+        out
+    }
+
+    /// Finds all substitutions matching this pattern against one e-class.
+    pub fn search_class(&self, egraph: &EGraph<L>, id: Id) -> Vec<Subst> {
+        let mut results = Vec::new();
+        self.match_node(egraph, self.root(), egraph.find(id), Subst::new(), &mut results);
+        results
+    }
+
+    fn match_node(
+        &self,
+        egraph: &EGraph<L>,
+        pat_idx: usize,
+        class: Id,
+        subst: Subst,
+        results: &mut Vec<Subst>,
+    ) {
+        match &self.nodes[pat_idx] {
+            PatternNode::Var(v) => {
+                if let Some(&bound) = subst.get(v) {
+                    if egraph.find(bound) == class {
+                        results.push(subst);
+                    }
+                } else {
+                    let mut s = subst;
+                    s.insert(*v, class);
+                    results.push(s);
+                }
+            }
+            PatternNode::App(pnode) => {
+                for enode in &egraph.class(class).nodes {
+                    if !pnode.matches_op(enode) {
+                        continue;
+                    }
+                    // Match children left-to-right, threading substitutions.
+                    let mut partial = vec![subst.clone()];
+                    for (pc, ec) in pnode.children().iter().zip(enode.children()) {
+                        let mut next = Vec::new();
+                        for s in partial {
+                            self.match_node(
+                                egraph,
+                                pc.0 as usize,
+                                egraph.find(*ec),
+                                s,
+                                &mut next,
+                            );
+                        }
+                        partial = next;
+                        if partial.is_empty() {
+                            break;
+                        }
+                    }
+                    results.extend(partial);
+                }
+            }
+        }
+    }
+
+    /// Instantiates the pattern under a substitution, adding its nodes to the
+    /// e-graph, and returns the root class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pattern variable is unbound in `subst`.
+    pub fn instantiate(&self, egraph: &mut EGraph<L>, subst: &Subst) -> Id {
+        let mut ids: Vec<Id> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let id = match node {
+                PatternNode::Var(v) => *subst
+                    .get(v)
+                    .unwrap_or_else(|| panic!("unbound pattern variable {v}")),
+                PatternNode::App(app) => {
+                    let mut concrete = app.clone();
+                    for c in concrete.children_mut() {
+                        *c = ids[c.0 as usize];
+                    }
+                    egraph.add(concrete)
+                }
+            };
+            ids.push(id);
+        }
+        *ids.last().expect("non-empty pattern")
+    }
+}
+
+/// Convenience builder for [`Pattern`]s over [`crate::SymbolLang`].
+///
+/// Accepts a tiny s-expression syntax: `(+ ?a 0)`, `(f (g ?x) y)`. Tokens
+/// beginning with `?` are variables; other leaves are zero-arity symbols.
+///
+/// When building the two sides of a rewrite rule, use
+/// [`parse_symbol_pattern_with`] with a shared variable map so `?a` means the
+/// same variable on both sides.
+pub fn parse_symbol_pattern(s: &str) -> Pattern<crate::SymbolLang> {
+    let mut vars: HashMap<String, PatVar> = HashMap::new();
+    parse_symbol_pattern_with(s, &mut vars)
+}
+
+/// Like [`parse_symbol_pattern`], but variable names are resolved through
+/// `vars`, so patterns parsed with the same map share variable identities.
+pub fn parse_symbol_pattern_with(
+    s: &str,
+    vars: &mut HashMap<String, PatVar>,
+) -> Pattern<crate::SymbolLang> {
+    let tokens = tokenize(s);
+    let mut pos = 0usize;
+    let mut nodes = Vec::new();
+    let root = parse_expr(&tokens, &mut pos, &mut nodes, vars);
+    assert_eq!(pos, tokens.len(), "trailing tokens in pattern {s:?}");
+    assert_eq!(root as usize, nodes.len() - 1);
+    Pattern::from_nodes(nodes)
+}
+
+fn tokenize(s: &str) -> Vec<String> {
+    s.replace('(', " ( ")
+        .replace(')', " ) ")
+        .split_whitespace()
+        .map(|t| t.to_string())
+        .collect()
+}
+
+fn parse_expr(
+    tokens: &[String],
+    pos: &mut usize,
+    nodes: &mut Vec<PatternNode<crate::SymbolLang>>,
+    vars: &mut HashMap<String, PatVar>,
+) -> u32 {
+    assert!(*pos < tokens.len(), "unexpected end of pattern");
+    let tok = &tokens[*pos];
+    *pos += 1;
+    if tok == "(" {
+        let op = tokens[*pos].clone();
+        *pos += 1;
+        let mut children = Vec::new();
+        while tokens[*pos] != ")" {
+            let c = parse_expr(tokens, pos, nodes, vars);
+            children.push(Id(c));
+        }
+        *pos += 1; // consume ')'
+        nodes.push(PatternNode::App(crate::SymbolLang::new(op, children)));
+        (nodes.len() - 1) as u32
+    } else if let Some(name) = tok.strip_prefix('?') {
+        let next = PatVar(vars.len() as u32);
+        let v = *vars.entry(name.to_string()).or_insert(next);
+        nodes.push(PatternNode::Var(v));
+        (nodes.len() - 1) as u32
+    } else {
+        nodes.push(PatternNode::App(crate::SymbolLang::leaf(tok.clone())));
+        (nodes.len() - 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymbolLang;
+
+    #[test]
+    fn parse_roundtrip_structure() {
+        let p = parse_symbol_pattern("(+ ?a 0)");
+        assert_eq!(p.nodes().len(), 3);
+        assert_eq!(p.vars().len(), 1);
+    }
+
+    #[test]
+    fn search_matches_simple() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let x = eg.add(SymbolLang::leaf("x"));
+        let zero = eg.add(SymbolLang::leaf("0"));
+        let add = eg.add(SymbolLang::new("+", vec![x, zero]));
+        let p = parse_symbol_pattern("(+ ?a 0)");
+        let matches = p.search(&eg);
+        assert_eq!(matches.len(), 1);
+        let (cls, subst) = &matches[0];
+        assert_eq!(*cls, eg.find(add));
+        assert_eq!(subst[&PatVar(0)], eg.find(x));
+    }
+
+    #[test]
+    fn repeated_var_must_match_same_class() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let x = eg.add(SymbolLang::leaf("x"));
+        let y = eg.add(SymbolLang::leaf("y"));
+        eg.add(SymbolLang::new("+", vec![x, x]));
+        eg.add(SymbolLang::new("+", vec![x, y]));
+        let p = parse_symbol_pattern("(+ ?a ?a)");
+        let matches = p.search(&eg);
+        assert_eq!(matches.len(), 1, "only x+x matches (+ ?a ?a)");
+    }
+
+    #[test]
+    fn instantiate_builds_term() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let x = eg.add(SymbolLang::leaf("x"));
+        let p = parse_symbol_pattern("(* ?a 2)");
+        let mut subst = Subst::new();
+        subst.insert(PatVar(0), x);
+        let id = p.instantiate(&mut eg, &subst);
+        let two = eg.lookup(SymbolLang::leaf("2")).expect("2 added");
+        assert_eq!(eg.lookup(SymbolLang::new("*", vec![x, two])), Some(id));
+    }
+
+    #[test]
+    fn nested_pattern_search() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let x = eg.add(SymbolLang::leaf("x"));
+        let ex = eg.add(SymbolLang::new("exp", vec![x]));
+        let lg = eg.add(SymbolLang::new("log", vec![ex]));
+        let p = parse_symbol_pattern("(log (exp ?a))");
+        let matches = p.search(&eg);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].0, eg.find(lg));
+        assert_eq!(matches[0].1[&PatVar(0)], eg.find(x));
+    }
+
+    #[test]
+    fn search_after_union_sees_merged_nodes() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let x = eg.add(SymbolLang::leaf("x"));
+        let y = eg.add(SymbolLang::leaf("y"));
+        let fy = eg.add(SymbolLang::new("f", vec![y]));
+        eg.union(x, y);
+        eg.rebuild();
+        // f(?a) should match f(y) whose child class now contains x.
+        let p = parse_symbol_pattern("(f ?a)");
+        let matches = p.search(&eg);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].0, eg.find(fy));
+        assert_eq!(matches[0].1[&PatVar(0)], eg.find(x));
+    }
+}

@@ -1,0 +1,262 @@
+//! Rewrite rules and the equality-saturation runner.
+
+use crate::pattern::{Pattern, Subst};
+use crate::{EGraph, Id, Language};
+
+/// A rewrite rule `lhs => rhs`, optionally guarded by a predicate over the
+/// substitution.
+pub struct Rule<L: Language> {
+    /// Human-readable rule name (shown in reports).
+    pub name: String,
+    /// Pattern to search for.
+    pub lhs: Pattern<L>,
+    /// Pattern to instantiate and union with the match.
+    pub rhs: Pattern<L>,
+    /// Optional guard; the rule fires only when this returns true.
+    #[allow(clippy::type_complexity)]
+    pub guard: Option<Box<dyn Fn(&EGraph<L>, &Subst) -> bool + Send + Sync>>,
+}
+
+impl<L: Language> std::fmt::Debug for Rule<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rule")
+            .field("name", &self.name)
+            .field("guarded", &self.guard.is_some())
+            .finish()
+    }
+}
+
+impl<L: Language> Rule<L> {
+    /// An unguarded rule.
+    ///
+    /// `lhs` and `rhs` must share variable identities: parse them with a
+    /// shared variable map (see
+    /// [`parse_symbol_rule`] for
+    /// [`crate::SymbolLang`]).
+    pub fn new(name: impl Into<String>, lhs: Pattern<L>, rhs: Pattern<L>) -> Self {
+        Rule { name: name.into(), lhs, rhs, guard: None }
+    }
+
+    /// A rule guarded by `guard` over the matched substitution.
+    pub fn guarded(
+        name: impl Into<String>,
+        lhs: Pattern<L>,
+        rhs: Pattern<L>,
+        guard: impl Fn(&EGraph<L>, &Subst) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Rule { name: name.into(), lhs, rhs, guard: Some(Box::new(guard)) }
+    }
+}
+
+/// Resource limits for a [`Runner`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunnerLimits {
+    /// Maximum saturation iterations.
+    pub max_iters: usize,
+    /// Stop growing once the e-graph holds this many nodes.
+    pub max_nodes: usize,
+}
+
+impl Default for RunnerLimits {
+    fn default() -> Self {
+        RunnerLimits { max_iters: 16, max_nodes: 20_000 }
+    }
+}
+
+/// Why the runner stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// No rule produced a new union: the e-graph is saturated.
+    Saturated,
+    /// Hit the iteration limit.
+    IterLimit,
+    /// Hit the node limit.
+    NodeLimit,
+}
+
+/// Statistics from a saturation run.
+#[derive(Clone, Debug)]
+pub struct RunnerReport {
+    /// Iterations actually executed.
+    pub iterations: usize,
+    /// Total rule applications that changed the e-graph.
+    pub applications: usize,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+}
+
+/// Applies a set of rules to an e-graph until saturation or limits.
+pub struct Runner<L: Language> {
+    rules: Vec<Rule<L>>,
+    limits: RunnerLimits,
+}
+
+impl<L: Language> Runner<L> {
+    /// A runner over the given rules with default limits.
+    pub fn new(rules: Vec<Rule<L>>) -> Self {
+        Runner { rules, limits: RunnerLimits::default() }
+    }
+
+    /// Overrides the resource limits.
+    pub fn with_limits(mut self, limits: RunnerLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Runs equality saturation on `egraph`.
+    ///
+    /// The e-graph is left rebuilt (clean) regardless of the stop reason.
+    pub fn run(&self, egraph: &mut EGraph<L>) -> RunnerReport {
+        let mut applications = 0;
+        for iter in 0..self.limits.max_iters {
+            if egraph.num_nodes() >= self.limits.max_nodes {
+                return RunnerReport {
+                    iterations: iter,
+                    applications,
+                    stop_reason: StopReason::NodeLimit,
+                };
+            }
+            // Phase 1: search all rules against the current (clean) e-graph.
+            let mut pending: Vec<(usize, Id, Subst)> = Vec::new();
+            for (ri, rule) in self.rules.iter().enumerate() {
+                for (cls, subst) in rule.lhs.search(egraph) {
+                    if let Some(guard) = &rule.guard {
+                        if !guard(egraph, &subst) {
+                            continue;
+                        }
+                    }
+                    pending.push((ri, cls, subst));
+                }
+            }
+            // Phase 2: apply.
+            let mut changed = false;
+            for (ri, cls, subst) in pending {
+                if egraph.num_nodes() >= self.limits.max_nodes {
+                    break;
+                }
+                let rhs_id = self.rules[ri].rhs.instantiate(egraph, &subst);
+                let (_, did) = egraph.union(cls, rhs_id);
+                if did {
+                    changed = true;
+                    applications += 1;
+                }
+            }
+            egraph.rebuild();
+            if !changed {
+                return RunnerReport {
+                    iterations: iter + 1,
+                    applications,
+                    stop_reason: StopReason::Saturated,
+                };
+            }
+        }
+        RunnerReport {
+            iterations: self.limits.max_iters,
+            applications,
+            stop_reason: StopReason::IterLimit,
+        }
+    }
+}
+
+/// Parses a [`crate::SymbolLang`] rule from two s-expression patterns that
+/// share variable names, e.g. `parse_symbol_rule("comm", "(+ ?a ?b)", "(+ ?b ?a)")`.
+pub fn parse_symbol_rule(
+    name: impl Into<String>,
+    lhs: &str,
+    rhs: &str,
+) -> Rule<crate::SymbolLang> {
+    let mut vars = std::collections::HashMap::new();
+    let lhs = crate::pattern::parse_symbol_pattern_with(lhs, &mut vars);
+    let rhs = crate::pattern::parse_symbol_pattern_with(rhs, &mut vars);
+    Rule::new(name, lhs, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::parse_symbol_pattern as pat;
+    use crate::SymbolLang;
+
+    fn rules() -> Vec<Rule<SymbolLang>> {
+        vec![
+            parse_symbol_rule("add-zero", "(+ ?a 0)", "?a"),
+            parse_symbol_rule("mul-one", "(* ?a 1)", "?a"),
+            parse_symbol_rule("comm-add", "(+ ?a ?b)", "(+ ?b ?a)"),
+            parse_symbol_rule("comm-mul", "(* ?a ?b)", "(* ?b ?a)"),
+            parse_symbol_rule("log-exp", "(log (exp ?a))", "?a"),
+        ]
+    }
+
+    #[test]
+    fn rule_sides_share_variables() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let x = eg.add(SymbolLang::leaf("x"));
+        let y = eg.add(SymbolLang::leaf("y"));
+        let xy = eg.add(SymbolLang::new("+", vec![x, y]));
+        Runner::new(vec![parse_symbol_rule("comm", "(+ ?a ?b)", "(+ ?b ?a)")])
+            .run(&mut eg);
+        let yx = eg.lookup(SymbolLang::new("+", vec![y, x]));
+        assert_eq!(yx, Some(eg.find(xy)), "commutativity creates the swapped term");
+    }
+
+    #[test]
+    fn saturates_add_zero() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let x = eg.add(SymbolLang::leaf("x"));
+        let zero = eg.add(SymbolLang::leaf("0"));
+        let add = eg.add(SymbolLang::new("+", vec![x, zero]));
+        let report = Runner::new(rules()).run(&mut eg);
+        assert_eq!(eg.find(add), eg.find(x));
+        assert!(report.applications >= 1);
+    }
+
+    #[test]
+    fn commutativity_reaches_zero_on_left() {
+        // (+ 0 x) needs commutativity before add-zero applies.
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let x = eg.add(SymbolLang::leaf("x"));
+        let zero = eg.add(SymbolLang::leaf("0"));
+        let add = eg.add(SymbolLang::new("+", vec![zero, x]));
+        Runner::new(rules()).run(&mut eg);
+        assert_eq!(eg.find(add), eg.find(x));
+    }
+
+    #[test]
+    fn log_exp_cancels_nested() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let x = eg.add(SymbolLang::leaf("x"));
+        let e = eg.add(SymbolLang::new("exp", vec![x]));
+        let l = eg.add(SymbolLang::new("log", vec![e]));
+        let one = eg.add(SymbolLang::leaf("1"));
+        let m = eg.add(SymbolLang::new("*", vec![l, one]));
+        Runner::new(rules()).run(&mut eg);
+        assert_eq!(eg.find(m), eg.find(x));
+    }
+
+    #[test]
+    fn node_limit_stops_growth() {
+        // Commutativity alone grows; a tiny node limit must stop the run.
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let mut prev = eg.add(SymbolLang::leaf("x0"));
+        for i in 1..6 {
+            let xi = eg.add(SymbolLang::leaf(format!("x{i}")));
+            prev = eg.add(SymbolLang::new("+", vec![prev, xi]));
+        }
+        let limits = RunnerLimits { max_iters: 50, max_nodes: 12 };
+        let report = Runner::new(rules()).with_limits(limits).run(&mut eg);
+        assert_eq!(report.stop_reason, StopReason::NodeLimit);
+    }
+
+    #[test]
+    fn guard_blocks_application() {
+        let mut eg: EGraph<SymbolLang> = EGraph::new();
+        let x = eg.add(SymbolLang::leaf("x"));
+        let zero = eg.add(SymbolLang::leaf("0"));
+        let add = eg.add(SymbolLang::new("+", vec![x, zero]));
+        let rule = Rule::guarded("never", pat("(+ ?a 0)"), pat("?a"), |_, _| false);
+        let report = Runner::new(vec![rule]).run(&mut eg);
+        assert_ne!(eg.find(add), eg.find(x));
+        assert_eq!(report.applications, 0);
+        assert_eq!(report.stop_reason, StopReason::Saturated);
+    }
+}

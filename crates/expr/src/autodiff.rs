@@ -1,0 +1,345 @@
+//! Reverse-mode automatic differentiation over an [`ExprPool`] DAG.
+//!
+//! Felix back-propagates `∂O/∂y` through the composition (cost model) ∘
+//! (feature formulas). The cost-model part is handled in `felix-cost`; this
+//! module implements the feature-formula part: given adjoint seeds on a set
+//! of output expressions (one per feature, set to `∂C/∂feature_k`), one
+//! reverse sweep over the pool accumulates gradients for every variable.
+
+use crate::{BinOp, ENode, ExprId, ExprPool, UnOp, VarId};
+use std::fmt;
+
+/// Error returned when differentiating an expression containing a
+/// non-differentiable operator without enabling subgradients.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GradError {
+    /// The offending node.
+    pub node: ENode,
+}
+
+impl fmt::Display for GradError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "expression contains non-differentiable operator {:?}; run the smoothing pass first or enable subgradients",
+            self.node
+        )
+    }
+}
+
+impl std::error::Error for GradError {}
+
+/// Result of a reverse sweep: per-variable gradients plus per-node values.
+#[derive(Clone, Debug)]
+pub struct Gradients {
+    /// `∂(Σ seeded outputs)/∂var`, indexed by [`VarId::index`].
+    pub wrt_var: Vec<f64>,
+    /// Forward values for every node (from [`ExprPool::eval_all`]).
+    pub values: Vec<f64>,
+}
+
+impl Gradients {
+    /// Gradient with respect to one variable.
+    pub fn var(&self, v: VarId) -> f64 {
+        self.wrt_var[v.index()]
+    }
+}
+
+/// Options controlling differentiation of non-smooth operators.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GradOptions {
+    /// If true, `min`/`max`/`abs`/`select` use sub-gradients (route to the
+    /// active branch) and comparisons have zero gradient. If false (default,
+    /// matching the paper's pipeline where smoothing runs first), such
+    /// operators produce a [`GradError`].
+    pub subgradient: bool,
+}
+
+impl ExprPool {
+    /// Reverse-mode gradients of a single output with seed 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GradError`] if the reachable DAG contains a
+    /// non-differentiable operator and `opts.subgradient` is false.
+    pub fn grad(
+        &self,
+        output: ExprId,
+        var_values: &[f64],
+        n_vars: usize,
+        opts: GradOptions,
+    ) -> Result<Gradients, GradError> {
+        self.grad_multi(&[(output, 1.0)], var_values, n_vars, opts)
+    }
+
+    /// Reverse-mode gradients of a weighted sum of outputs.
+    ///
+    /// `outputs` pairs each output expression with its adjoint seed; the
+    /// result is the gradient of `Σ_k seed_k · out_k` with respect to every
+    /// variable. This is exactly the chain-rule contraction Felix needs:
+    /// seed feature `k` with `∂C/∂feature_k` to get `∂C/∂x` in one sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GradError`] if the reachable DAG contains a
+    /// non-differentiable operator and `opts.subgradient` is false.
+    pub fn grad_multi(
+        &self,
+        outputs: &[(ExprId, f64)],
+        var_values: &[f64],
+        n_vars: usize,
+        opts: GradOptions,
+    ) -> Result<Gradients, GradError> {
+        let values = self.eval_all(var_values);
+        self.grad_multi_with_values(outputs, values, n_vars, opts)
+    }
+
+    /// [`ExprPool::grad_multi`] reusing an existing [`ExprPool::eval_all`]
+    /// result, avoiding a second forward pass when the caller already
+    /// evaluated the pool.
+    pub fn grad_multi_with_values(
+        &self,
+        outputs: &[(ExprId, f64)],
+        values: Vec<f64>,
+        n_vars: usize,
+        opts: GradOptions,
+    ) -> Result<Gradients, GradError> {
+        let mut adjoint = vec![0.0f64; self.len()];
+        for &(out, seed) in outputs {
+            adjoint[out.index()] += seed;
+        }
+        let mut wrt_var = vec![0.0f64; n_vars];
+        // Reverse topological order = reverse construction order.
+        for idx in (0..self.len()).rev() {
+            let a_out = adjoint[idx];
+            if a_out == 0.0 {
+                continue;
+            }
+            match self.nodes()[idx] {
+                ENode::Const(_) => {}
+                ENode::Var(v) => {
+                    wrt_var[v.index()] += a_out;
+                }
+                ENode::Un(op, a) => {
+                    let va = values[a.index()];
+                    let d = match op {
+                        UnOp::Neg => -1.0,
+                        UnOp::Log => 1.0 / va,
+                        UnOp::Exp => values[idx],
+                        UnOp::Sqrt => 0.5 / values[idx],
+                        UnOp::Abs => {
+                            if !opts.subgradient {
+                                return Err(GradError { node: self.nodes()[idx] });
+                            }
+                            if va >= 0.0 {
+                                1.0
+                            } else {
+                                -1.0
+                            }
+                        }
+                    };
+                    adjoint[a.index()] += a_out * d;
+                }
+                ENode::Bin(op, a, b) => {
+                    let (va, vb) = (values[a.index()], values[b.index()]);
+                    let (da, db) = match op {
+                        BinOp::Add => (1.0, 1.0),
+                        BinOp::Sub => (1.0, -1.0),
+                        BinOp::Mul => (vb, va),
+                        BinOp::Div => (1.0 / vb, -va / (vb * vb)),
+                        BinOp::Pow => {
+                            // d/da a^b = b a^(b-1); d/db a^b = a^b ln a.
+                            let v = values[idx];
+                            let da = if va == 0.0 { 0.0 } else { vb * v / va };
+                            let db = if va > 0.0 { v * va.ln() } else { 0.0 };
+                            (da, db)
+                        }
+                        BinOp::Min | BinOp::Max => {
+                            if !opts.subgradient {
+                                return Err(GradError { node: self.nodes()[idx] });
+                            }
+                            let a_active = match op {
+                                BinOp::Min => va <= vb,
+                                _ => va >= vb,
+                            };
+                            if a_active {
+                                (1.0, 0.0)
+                            } else {
+                                (0.0, 1.0)
+                            }
+                        }
+                    };
+                    adjoint[a.index()] += a_out * da;
+                    adjoint[b.index()] += a_out * db;
+                }
+                ENode::Cmp(..) => {
+                    if !opts.subgradient {
+                        return Err(GradError { node: self.nodes()[idx] });
+                    }
+                    // Piecewise-constant: zero gradient everywhere it exists.
+                }
+                ENode::Select(c, t, e) => {
+                    if !opts.subgradient {
+                        return Err(GradError { node: self.nodes()[idx] });
+                    }
+                    if values[c.index()] != 0.0 {
+                        adjoint[t.index()] += a_out;
+                    } else {
+                        adjoint[e.index()] += a_out;
+                    }
+                }
+            }
+        }
+        Ok(Gradients { wrt_var, values })
+    }
+
+    /// Central finite-difference gradient, for testing AD correctness.
+    pub fn grad_numeric(
+        &self,
+        output: ExprId,
+        var_values: &[f64],
+        eps: f64,
+    ) -> Vec<f64> {
+        let mut out = vec![0.0; var_values.len()];
+        let mut vals = var_values.to_vec();
+        for i in 0..var_values.len() {
+            let orig = vals[i];
+            vals[i] = orig + eps;
+            let hi = self.eval(output, &vals);
+            vals[i] = orig - eps;
+            let lo = self.eval(output, &vals);
+            vals[i] = orig;
+            out[i] = (hi - lo) / (2.0 * eps);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarTable;
+
+    fn setup2() -> (ExprPool, VarId, VarId) {
+        let mut vars = VarTable::new();
+        let vx = vars.fresh("x");
+        let vy = vars.fresh("y");
+        (ExprPool::new(), vx, vy)
+    }
+
+    #[test]
+    fn grad_of_product() {
+        let (mut p, vx, vy) = setup2();
+        let x = p.var(vx);
+        let y = p.var(vy);
+        let f = p.mul(x, y);
+        let g = p.grad(f, &[3.0, 5.0], 2, GradOptions::default()).unwrap();
+        assert_eq!(g.var(vx), 5.0);
+        assert_eq!(g.var(vy), 3.0);
+    }
+
+    #[test]
+    fn grad_matches_numeric_composite() {
+        // f = log(x*y + 1) + sqrt(x) * exp(y / 3)
+        let (mut p, vx, vy) = setup2();
+        let x = p.var(vx);
+        let y = p.var(vy);
+        let xy = p.mul(x, y);
+        let l = p.log1p(xy);
+        let sx = p.sqrt(x);
+        let c3 = p.constf(3.0);
+        let y3 = p.div(y, c3);
+        let ey = p.exp(y3);
+        let t = p.mul(sx, ey);
+        let f = p.add(l, t);
+        let at = [2.0, 1.5];
+        let g = p.grad(f, &at, 2, GradOptions::default()).unwrap();
+        let num = p.grad_numeric(f, &at, 1e-6);
+        assert!((g.var(vx) - num[0]).abs() < 1e-5, "{} vs {}", g.var(vx), num[0]);
+        assert!((g.var(vy) - num[1]).abs() < 1e-5, "{} vs {}", g.var(vy), num[1]);
+    }
+
+    #[test]
+    fn grad_pow_both_args() {
+        let (mut p, vx, vy) = setup2();
+        let x = p.var(vx);
+        let y = p.var(vy);
+        let f = p.pow(x, y);
+        let at = [2.0, 3.0];
+        let g = p.grad(f, &at, 2, GradOptions::default()).unwrap();
+        let num = p.grad_numeric(f, &at, 1e-6);
+        assert!((g.var(vx) - num[0]).abs() < 1e-4);
+        assert!((g.var(vy) - num[1]).abs() < 1e-4);
+    }
+
+    #[test]
+    fn grad_shared_subexpression() {
+        // f = (x + y)^2 computed as t*t with shared t: checks adjoint
+        // accumulation through a shared node.
+        let (mut p, vx, vy) = setup2();
+        let x = p.var(vx);
+        let y = p.var(vy);
+        let t = p.add(x, y);
+        let f = p.mul(t, t);
+        let g = p.grad(f, &[1.0, 2.0], 2, GradOptions::default()).unwrap();
+        assert_eq!(g.var(vx), 6.0); // 2 (x+y)
+        assert_eq!(g.var(vy), 6.0);
+    }
+
+    #[test]
+    fn nondifferentiable_errors_without_subgradient() {
+        let (mut p, vx, _vy) = setup2();
+        let x = p.var(vx);
+        let c = p.constf(0.0);
+        let f = p.max(x, c);
+        let err = p.grad(f, &[1.0, 0.0], 2, GradOptions::default());
+        assert!(err.is_err());
+        let msg = format!("{}", err.unwrap_err());
+        assert!(msg.contains("non-differentiable"));
+    }
+
+    #[test]
+    fn subgradient_routes_max() {
+        let (mut p, vx, _vy) = setup2();
+        let x = p.var(vx);
+        let c = p.constf(0.0);
+        let f = p.max(x, c);
+        let opts = GradOptions { subgradient: true };
+        let g = p.grad(f, &[2.0, 0.0], 2, opts).unwrap();
+        assert_eq!(g.var(vx), 1.0);
+        let g = p.grad(f, &[-2.0, 0.0], 2, opts).unwrap();
+        assert_eq!(g.var(vx), 0.0);
+    }
+
+    #[test]
+    fn multi_output_seeding_is_linear() {
+        // grad of 2*f + 3*g via seeds equals 2*grad(f) + 3*grad(g).
+        let (mut p, vx, vy) = setup2();
+        let x = p.var(vx);
+        let y = p.var(vy);
+        let f = p.mul(x, y);
+        let g_expr = p.add(x, y);
+        let at = [4.0, 7.0];
+        let combined = p
+            .grad_multi(&[(f, 2.0), (g_expr, 3.0)], &at, 2, GradOptions::default())
+            .unwrap();
+        let gf = p.grad(f, &at, 2, GradOptions::default()).unwrap();
+        let gg = p.grad(g_expr, &at, 2, GradOptions::default()).unwrap();
+        for v in [vx, vy] {
+            let expect = 2.0 * gf.var(v) + 3.0 * gg.var(v);
+            assert!((combined.var(v) - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unreached_nodes_do_not_contribute() {
+        let (mut p, vx, vy) = setup2();
+        let x = p.var(vx);
+        let y = p.var(vy);
+        let _dead = p.exp(y); // never part of the output
+        let f = p.mul(x, x);
+        let g = p.grad(f, &[3.0, 100.0], 2, GradOptions::default()).unwrap();
+        assert_eq!(g.var(vy), 0.0);
+        assert_eq!(g.var(vx), 6.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! A compiled evaluator: extracts the sub-DAG reachable from a set of roots
+//! into a compact, cache-friendly tape.
+//!
+//! [`ExprPool::eval_all`] walks the *entire* pool, which is wasteful when a
+//! search evaluates the same few feature roots at thousands of candidate
+//! schedules (the evolutionary baseline's inner loop). A [`CompiledExprs`]
+//! tape touches only reachable nodes, in one contiguous pass, and is
+//! reusable across evaluations via a caller-provided scratch buffer.
+
+use crate::{BinOp, CmpOp, ENode, ExprId, ExprPool, UnOp};
+
+/// One tape instruction; operands index into the tape's value buffer.
+#[derive(Clone, Copy, Debug)]
+enum Instr {
+    Const(f64),
+    Var(u32),
+    Un(UnOp, u32),
+    Bin(BinOp, u32, u32),
+    Cmp(CmpOp, u32, u32),
+    Select(u32, u32, u32),
+}
+
+/// A compact tape evaluating a fixed set of roots.
+#[derive(Clone, Debug)]
+pub struct CompiledExprs {
+    tape: Vec<Instr>,
+    roots: Vec<u32>,
+}
+
+impl CompiledExprs {
+    /// Compiles the sub-DAG reachable from `roots` out of `pool`.
+    pub fn compile(pool: &ExprPool, roots: &[ExprId]) -> Self {
+        // Mark reachable nodes, then renumber them in pool (topological)
+        // order so children always precede parents on the tape.
+        let mut needed = vec![false; pool.len()];
+        let mut stack: Vec<ExprId> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if needed[id.index()] {
+                continue;
+            }
+            needed[id.index()] = true;
+            stack.extend(pool.node(id).children());
+        }
+        let mut remap = vec![u32::MAX; pool.len()];
+        let mut tape = Vec::new();
+        for (idx, node) in pool.nodes().iter().enumerate() {
+            if !needed[idx] {
+                continue;
+            }
+            let r = |e: ExprId| remap[e.index()];
+            let instr = match *node {
+                ENode::Const(b) => Instr::Const(f64::from_bits(b)),
+                ENode::Var(v) => Instr::Var(v.0),
+                ENode::Un(op, a) => Instr::Un(op, r(a)),
+                ENode::Bin(op, a, b) => Instr::Bin(op, r(a), r(b)),
+                ENode::Cmp(op, a, b) => Instr::Cmp(op, r(a), r(b)),
+                ENode::Select(c, t, e) => Instr::Select(r(c), r(t), r(e)),
+            };
+            remap[idx] = tape.len() as u32;
+            tape.push(instr);
+        }
+        let roots = roots.iter().map(|r| remap[r.index()]).collect();
+        CompiledExprs { tape, roots }
+    }
+
+    /// Number of tape instructions (reachable nodes).
+    pub fn len(&self) -> usize {
+        self.tape.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tape.is_empty()
+    }
+
+    /// Evaluates all roots, reusing `scratch` across calls (it is resized
+    /// as needed). Returns one value per root, in compile order.
+    pub fn eval_into(&self, var_values: &[f64], scratch: &mut Vec<f64>) -> Vec<f64> {
+        scratch.clear();
+        scratch.reserve(self.tape.len());
+        for instr in &self.tape {
+            let v = match *instr {
+                Instr::Const(c) => c,
+                Instr::Var(v) => var_values[v as usize],
+                Instr::Un(op, a) => {
+                    let a = scratch[a as usize];
+                    match op {
+                        UnOp::Neg => -a,
+                        UnOp::Log => a.ln(),
+                        UnOp::Exp => a.exp(),
+                        UnOp::Sqrt => a.sqrt(),
+                        UnOp::Abs => a.abs(),
+                    }
+                }
+                Instr::Bin(op, a, b) => {
+                    let (a, b) = (scratch[a as usize], scratch[b as usize]);
+                    match op {
+                        BinOp::Add => a + b,
+                        BinOp::Sub => a - b,
+                        BinOp::Mul => a * b,
+                        BinOp::Div => a / b,
+                        BinOp::Pow => a.powf(b),
+                        BinOp::Min => a.min(b),
+                        BinOp::Max => a.max(b),
+                    }
+                }
+                Instr::Cmp(op, a, b) => {
+                    let (a, b) = (scratch[a as usize], scratch[b as usize]);
+                    let r = match op {
+                        CmpOp::Lt => a < b,
+                        CmpOp::Le => a <= b,
+                        CmpOp::Gt => a > b,
+                        CmpOp::Ge => a >= b,
+                        CmpOp::Eq => a == b,
+                    };
+                    if r {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                Instr::Select(c, t, e) => {
+                    if scratch[c as usize] != 0.0 {
+                        scratch[t as usize]
+                    } else {
+                        scratch[e as usize]
+                    }
+                }
+            };
+            scratch.push(v);
+        }
+        self.roots.iter().map(|&r| scratch[r as usize]).collect()
+    }
+
+    /// Convenience: [`CompiledExprs::eval_into`] with a fresh scratch buffer.
+    pub fn eval(&self, var_values: &[f64]) -> Vec<f64> {
+        let mut scratch = Vec::new();
+        self.eval_into(var_values, &mut scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VarTable;
+
+    #[test]
+    fn compiled_matches_interpreter() {
+        let mut vars = VarTable::new();
+        let vx = vars.fresh("x");
+        let vy = vars.fresh("y");
+        let mut p = ExprPool::new();
+        let x = p.var(vx);
+        let y = p.var(vy);
+        let xy = p.mul(x, y);
+        let l = p.log1p(xy);
+        let zero = p.constf(0.0);
+        let m = p.max(x, zero);
+        let c = p.cmp(crate::CmpOp::Gt, y, x);
+        let s = p.select(c, l, m);
+        let compiled = CompiledExprs::compile(&p, &[l, m, s]);
+        for at in [[2.0, 3.0], [5.0, 1.0], [0.5, 4.0]] {
+            let full = p.eval_all(&at);
+            let fast = compiled.eval(&at);
+            assert_eq!(fast[0], full[l.index()]);
+            assert_eq!(fast[1], full[m.index()]);
+            assert_eq!(fast[2], full[s.index()]);
+        }
+    }
+
+    #[test]
+    fn tape_only_contains_reachable_nodes() {
+        let mut vars = VarTable::new();
+        let vx = vars.fresh("x");
+        let mut p = ExprPool::new();
+        let x = p.var(vx);
+        // Build a large dead sub-DAG.
+        let mut dead = x;
+        for i in 0..100 {
+            let c = p.constf(i as f64);
+            dead = p.add(dead, c);
+        }
+        let live = p.mul(x, x);
+        let compiled = CompiledExprs::compile(&p, &[live]);
+        assert!(compiled.len() <= 2, "tape has {} instrs", compiled.len());
+        assert_eq!(compiled.eval(&[3.0]), vec![9.0]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_consistent() {
+        let mut vars = VarTable::new();
+        let vx = vars.fresh("x");
+        let mut p = ExprPool::new();
+        let x = p.var(vx);
+        let sq = p.mul(x, x);
+        let compiled = CompiledExprs::compile(&p, &[sq]);
+        let mut scratch = Vec::new();
+        for i in 1..50 {
+            let out = compiled.eval_into(&[i as f64], &mut scratch);
+            assert_eq!(out, vec![(i * i) as f64]);
+        }
+    }
+
+    #[test]
+    fn shared_subterms_evaluated_once() {
+        let mut vars = VarTable::new();
+        let vx = vars.fresh("x");
+        let mut p = ExprPool::new();
+        let x = p.var(vx);
+        let e = p.exp(x);
+        let a = p.add(e, e);
+        let b = p.mul(e, e);
+        let compiled = CompiledExprs::compile(&p, &[a, b]);
+        // x, exp, add, mul = 4 instructions (exp not duplicated).
+        assert_eq!(compiled.len(), 4);
+        let out = compiled.eval(&[0.0]);
+        assert_eq!(out, vec![2.0, 1.0]);
+    }
+}

@@ -1,0 +1,559 @@
+//! Equality-saturation simplification of feature formulas.
+//!
+//! The original Felix uses the `egg` rewriting framework for this step
+//! (paper §4); here we use the sibling `felix-egraph` crate. The rule set is
+//! deliberately small and directed so saturation terminates quickly:
+//! logarithms are distributed over products/quotients/powers and `log∘exp`
+//! pairs cancel. Combined with the `x = e^y` substitution
+//! ([`crate::subst::exp_substitution`]) this turns multiplicative feature
+//! terms like `log(x1·x2·C)` into the additive, linearly-growing form
+//! `y1 + y2 + log C` the paper relies on for stable gradients.
+
+use crate::{BinOp, CmpOp, ENode, ExprId, ExprPool, UnOp};
+use felix_egraph::pattern::{PatVar, Pattern, PatternNode};
+use felix_egraph::{
+    fold_constants, ConstLang, EGraph, Extractor, Id, Language, Rule, Runner,
+    RunnerLimits,
+};
+use std::collections::HashMap;
+
+/// The expression language mirrored into the e-graph.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ExprLang {
+    /// The operator (constants and variables are zero-arity operators).
+    pub op: LangOp,
+    /// Child e-classes.
+    pub children: Vec<Id>,
+}
+
+/// Operator labels for [`ExprLang`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum LangOp {
+    /// Constant (f64 bits).
+    Const(u64),
+    /// Variable index.
+    Var(u32),
+    /// Unary operator.
+    Un(UnOp),
+    /// Binary operator.
+    Bin(BinOp),
+    /// Comparison.
+    Cmp(CmpOp),
+    /// Three-way select.
+    Select,
+}
+
+impl Language for ExprLang {
+    fn children(&self) -> &[Id] {
+        &self.children
+    }
+    fn children_mut(&mut self) -> &mut [Id] {
+        &mut self.children
+    }
+    fn matches_op(&self, other: &Self) -> bool {
+        self.op == other.op && self.children.len() == other.children.len()
+    }
+    fn op_label(&self) -> String {
+        format!("{:?}", self.op)
+    }
+}
+
+impl ConstLang for ExprLang {
+    fn literal_value(&self) -> Option<f64> {
+        match self.op {
+            LangOp::Const(b) => Some(f64::from_bits(b)),
+            _ => None,
+        }
+    }
+
+    fn eval_const(&self, c: &[f64]) -> Option<f64> {
+        Some(match (self.op, c) {
+            (LangOp::Un(UnOp::Neg), [a]) => -a,
+            (LangOp::Un(UnOp::Log), [a]) => a.ln(),
+            (LangOp::Un(UnOp::Exp), [a]) => a.exp(),
+            (LangOp::Un(UnOp::Sqrt), [a]) => a.sqrt(),
+            (LangOp::Un(UnOp::Abs), [a]) => a.abs(),
+            (LangOp::Bin(BinOp::Add), [a, b]) => a + b,
+            (LangOp::Bin(BinOp::Sub), [a, b]) => a - b,
+            (LangOp::Bin(BinOp::Mul), [a, b]) => a * b,
+            (LangOp::Bin(BinOp::Div), [a, b]) => a / b,
+            (LangOp::Bin(BinOp::Pow), [a, b]) => a.powf(*b),
+            (LangOp::Bin(BinOp::Min), [a, b]) => a.min(*b),
+            (LangOp::Bin(BinOp::Max), [a, b]) => a.max(*b),
+            _ => return None,
+        })
+    }
+
+    fn make_literal(v: f64) -> Self {
+        let v = if v == 0.0 { 0.0 } else { v };
+        ExprLang { op: LangOp::Const(v.to_bits()), children: vec![] }
+    }
+}
+
+/// Pattern builder with named variables shared across a rule's two sides.
+struct Pb<'v> {
+    nodes: Vec<PatternNode<ExprLang>>,
+    vars: &'v mut HashMap<&'static str, PatVar>,
+}
+
+impl<'v> Pb<'v> {
+    fn new(vars: &'v mut HashMap<&'static str, PatVar>) -> Self {
+        Pb { nodes: Vec::new(), vars }
+    }
+
+    fn v(&mut self, name: &'static str) -> u32 {
+        let next = PatVar(self.vars.len() as u32);
+        let pv = *self.vars.entry(name).or_insert(next);
+        self.nodes.push(PatternNode::Var(pv));
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn app(&mut self, op: LangOp, children: Vec<u32>) -> u32 {
+        self.nodes.push(PatternNode::App(ExprLang {
+            op,
+            children: children.into_iter().map(Id).collect(),
+        }));
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn bin(&mut self, op: BinOp, a: u32, b: u32) -> u32 {
+        self.app(LangOp::Bin(op), vec![a, b])
+    }
+
+    fn un(&mut self, op: UnOp, a: u32) -> u32 {
+        self.app(LangOp::Un(op), vec![a])
+    }
+
+    fn build(self) -> Pattern<ExprLang> {
+        Pattern::from_nodes(self.nodes)
+    }
+}
+
+fn rule(
+    name: &'static str,
+    lhs: impl Fn(&mut Pb) -> u32,
+    rhs: impl Fn(&mut Pb) -> u32,
+) -> Rule<ExprLang> {
+    let mut vars = HashMap::new();
+    let mut lp = Pb::new(&mut vars);
+    lhs(&mut lp);
+    let lhs_pat = lp.build();
+    let mut rp = Pb::new(&mut vars);
+    rhs(&mut rp);
+    let rhs_pat = rp.build();
+    Rule::new(name, lhs_pat, rhs_pat)
+}
+
+/// The built-in simplification rule library.
+///
+/// Directed so that logarithms are pushed inward/eliminated; no commutative
+/// or associative rules are included, keeping saturation cheap and
+/// terminating well within default limits.
+pub fn simplification_rules() -> Vec<Rule<ExprLang>> {
+    use BinOp::*;
+    use UnOp::*;
+    vec![
+        // log(a*b) => log a + log b
+        rule(
+            "log-mul",
+            |p| {
+                let a = p.v("a");
+                let b = p.v("b");
+                let m = p.bin(Mul, a, b);
+                p.un(Log, m)
+            },
+            |p| {
+                let a = p.v("a");
+                let la = p.un(Log, a);
+                let b = p.v("b");
+                let lb = p.un(Log, b);
+                p.bin(Add, la, lb)
+            },
+        ),
+        // log(a/b) => log a - log b
+        rule(
+            "log-div",
+            |p| {
+                let a = p.v("a");
+                let b = p.v("b");
+                let d = p.bin(Div, a, b);
+                p.un(Log, d)
+            },
+            |p| {
+                let a = p.v("a");
+                let la = p.un(Log, a);
+                let b = p.v("b");
+                let lb = p.un(Log, b);
+                p.bin(Sub, la, lb)
+            },
+        ),
+        // log(a^b) => b * log a
+        rule(
+            "log-pow",
+            |p| {
+                let a = p.v("a");
+                let b = p.v("b");
+                let w = p.bin(Pow, a, b);
+                p.un(Log, w)
+            },
+            |p| {
+                let b = p.v("b");
+                let a = p.v("a");
+                let la = p.un(Log, a);
+                p.bin(Mul, b, la)
+            },
+        ),
+        // log(exp a) => a
+        rule(
+            "log-exp",
+            |p| {
+                let a = p.v("a");
+                let e = p.un(Exp, a);
+                p.un(Log, e)
+            },
+            |p| p.v("a"),
+        ),
+        // exp(log a) => a (feature domain is positive)
+        rule(
+            "exp-log",
+            |p| {
+                let a = p.v("a");
+                let l = p.un(Log, a);
+                p.un(Exp, l)
+            },
+            |p| p.v("a"),
+        ),
+        // (exp a)^b => exp(a*b)
+        rule(
+            "pow-exp",
+            |p| {
+                let a = p.v("a");
+                let e = p.un(Exp, a);
+                let b = p.v("b");
+                p.bin(Pow, e, b)
+            },
+            |p| {
+                let a = p.v("a");
+                let b = p.v("b");
+                let m = p.bin(Mul, a, b);
+                p.un(Exp, m)
+            },
+        ),
+        // exp(a) * exp(b) => exp(a+b)
+        rule(
+            "exp-mul",
+            |p| {
+                let a = p.v("a");
+                let ea = p.un(Exp, a);
+                let b = p.v("b");
+                let eb = p.un(Exp, b);
+                p.bin(Mul, ea, eb)
+            },
+            |p| {
+                let a = p.v("a");
+                let b = p.v("b");
+                let s = p.bin(Add, a, b);
+                p.un(Exp, s)
+            },
+        ),
+        // exp(a) / exp(b) => exp(a-b)
+        rule(
+            "exp-div",
+            |p| {
+                let a = p.v("a");
+                let ea = p.un(Exp, a);
+                let b = p.v("b");
+                let eb = p.un(Exp, b);
+                p.bin(Div, ea, eb)
+            },
+            |p| {
+                let a = p.v("a");
+                let b = p.v("b");
+                let s = p.bin(Sub, a, b);
+                p.un(Exp, s)
+            },
+        ),
+    ]
+}
+
+fn op_cost(node: &ExprLang, child_costs: &[f64]) -> f64 {
+    let c = match node.op {
+        LangOp::Const(_) | LangOp::Var(_) => 0.5,
+        LangOp::Un(UnOp::Log | UnOp::Exp) => 12.0,
+        LangOp::Un(UnOp::Sqrt) => 4.0,
+        LangOp::Un(_) => 1.0,
+        LangOp::Bin(BinOp::Pow) => 12.0,
+        LangOp::Bin(BinOp::Div) => 3.0,
+        LangOp::Bin(BinOp::Mul) => 2.0,
+        LangOp::Bin(_) => 1.0,
+        LangOp::Cmp(_) | LangOp::Select => 4.0,
+    };
+    c + child_costs.iter().sum::<f64>()
+}
+
+fn pool_to_egraph(
+    pool: &ExprPool,
+    roots: &[ExprId],
+    egraph: &mut EGraph<ExprLang>,
+) -> Vec<Id> {
+    // Convert reachable nodes bottom-up; pool order is topological.
+    let mut mapped: HashMap<ExprId, Id> = HashMap::new();
+    let mut needed = vec![false; pool.len()];
+    let mut stack: Vec<ExprId> = roots.to_vec();
+    while let Some(id) = stack.pop() {
+        if needed[id.index()] {
+            continue;
+        }
+        needed[id.index()] = true;
+        stack.extend(pool.node(id).children());
+    }
+    for (idx, node) in pool.nodes().iter().enumerate() {
+        if !needed[idx] {
+            continue;
+        }
+        let to_id = |e: ExprId, mapped: &HashMap<ExprId, Id>| mapped[&e];
+        let lang = match *node {
+            ENode::Const(b) => ExprLang { op: LangOp::Const(b), children: vec![] },
+            ENode::Var(v) => ExprLang { op: LangOp::Var(v.0), children: vec![] },
+            ENode::Un(op, a) => ExprLang {
+                op: LangOp::Un(op),
+                children: vec![to_id(a, &mapped)],
+            },
+            ENode::Bin(op, a, b) => ExprLang {
+                op: LangOp::Bin(op),
+                children: vec![to_id(a, &mapped), to_id(b, &mapped)],
+            },
+            ENode::Cmp(op, a, b) => ExprLang {
+                op: LangOp::Cmp(op),
+                children: vec![to_id(a, &mapped), to_id(b, &mapped)],
+            },
+            ENode::Select(c, t, e) => ExprLang {
+                op: LangOp::Select,
+                children: vec![to_id(c, &mapped), to_id(t, &mapped), to_id(e, &mapped)],
+            },
+        };
+        let eid = egraph.add(lang);
+        mapped.insert(ExprId::from_index(idx), eid);
+    }
+    roots.iter().map(|r| mapped[r]).collect()
+}
+
+impl ExprId {
+    fn from_index(i: usize) -> ExprId {
+        // Safe: pool indices fit u32 by construction.
+        ExprId(i as u32)
+    }
+}
+
+fn term_to_pool(pool: &mut ExprPool, term: &[ExprLang]) -> ExprId {
+    let mut ids: Vec<ExprId> = Vec::with_capacity(term.len());
+    for node in term {
+        let ch = |i: usize| ids[node.children[i].0 as usize];
+        let id = match node.op {
+            LangOp::Const(b) => pool.constf(f64::from_bits(b)),
+            LangOp::Var(v) => pool.var(crate::VarId(v)),
+            LangOp::Un(op) => {
+                let a = ch(0);
+                match op {
+                    UnOp::Neg => pool.neg(a),
+                    UnOp::Log => pool.log(a),
+                    UnOp::Exp => pool.exp(a),
+                    UnOp::Sqrt => pool.sqrt(a),
+                    UnOp::Abs => pool.abs(a),
+                }
+            }
+            LangOp::Bin(op) => {
+                let (a, b) = (ch(0), ch(1));
+                match op {
+                    BinOp::Add => pool.add(a, b),
+                    BinOp::Sub => pool.sub(a, b),
+                    BinOp::Mul => pool.mul(a, b),
+                    BinOp::Div => pool.div(a, b),
+                    BinOp::Pow => pool.pow(a, b),
+                    BinOp::Min => pool.min(a, b),
+                    BinOp::Max => pool.max(a, b),
+                }
+            }
+            LangOp::Cmp(op) => pool.cmp(op, ch(0), ch(1)),
+            LangOp::Select => pool.select(ch(0), ch(1), ch(2)),
+        };
+        ids.push(id);
+    }
+    *ids.last().expect("non-empty term")
+}
+
+/// Simplifies `roots` by equality saturation and extraction, returning the
+/// simplified roots (in the same pool; smart constructors re-fold constants
+/// on the way back in).
+pub fn simplify(pool: &mut ExprPool, roots: &[ExprId]) -> Vec<ExprId> {
+    simplify_with_limits(pool, roots, RunnerLimits::default())
+}
+
+/// [`simplify`] with explicit saturation limits.
+pub fn simplify_with_limits(
+    pool: &mut ExprPool,
+    roots: &[ExprId],
+    limits: RunnerLimits,
+) -> Vec<ExprId> {
+    let mut egraph = EGraph::new();
+    let eroots = pool_to_egraph(pool, roots, &mut egraph);
+    Runner::new(simplification_rules())
+        .with_limits(limits)
+        .run(&mut egraph);
+    // Constant-folding analysis: rewrites like log-mul expose constant
+    // subterms (e.g. `log 512`); folding them lets extraction pick literals.
+    fold_constants(&mut egraph);
+    let extractor = Extractor::new(&egraph, op_cost);
+    eroots
+        .into_iter()
+        .map(|r| {
+            let term = extractor.extract(r);
+            term_to_pool(pool, &term)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subst::exp_substitution;
+    use crate::{ExprPool, VarTable};
+
+    #[test]
+    fn log_of_product_distributes_when_exps_cancel() {
+        // log(exp(a) * exp(b)) must extract as a + b: the log distributes
+        // and both log∘exp pairs cancel. For plain variables the compact
+        // log(a*b) form is cheaper and extraction keeps it (checked below).
+        let mut vars = VarTable::new();
+        let v1 = vars.fresh("a");
+        let v2 = vars.fresh("b");
+        let mut p = ExprPool::new();
+        let (a, b) = (p.var(v1), p.var(v2));
+        let (ea, eb) = (p.exp(a), p.exp(b));
+        let m = p.mul(ea, eb);
+        let f = p.log(m);
+        let s = simplify(&mut p, &[f])[0];
+        let at = [3.0, 7.0];
+        assert!((p.eval(s, &at) - 10.0).abs() < 1e-12);
+        match p.node(s) {
+            ENode::Bin(BinOp::Add, x, y) => {
+                assert!(matches!(p.node(x), ENode::Var(_)));
+                assert!(matches!(p.node(y), ENode::Var(_)));
+            }
+            other => panic!("expected Add of vars at root, got {other:?}"),
+        }
+        // Plain-variable case: compact form is kept, value preserved.
+        let m2 = p.mul(a, b);
+        let f2 = p.log(m2);
+        let s2 = simplify(&mut p, &[f2])[0];
+        assert!((p.eval(s2, &at) - 21.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_substituted_product_linearizes() {
+        // The paper's stabilization: log(x1*x2*x3) with x = e^y becomes
+        // y1 + y2 + y3, eliminating every exp/log.
+        let mut vars = VarTable::new();
+        let xs: Vec<_> = (0..3).map(|i| vars.fresh(format!("T{i}"))).collect();
+        let mut p = ExprPool::new();
+        let xe: Vec<_> = xs.iter().map(|&v| p.var(v)).collect();
+        let prod = p.product(&xe);
+        let f = p.log(prod);
+        let (roots, map) = exp_substitution(&mut p, &mut vars, &[f], &xs);
+        let s = simplify(&mut p, &[roots[0]])[0];
+        // No Log or Exp remains.
+        let mut stack = vec![s];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            match p.node(id) {
+                ENode::Un(UnOp::Log | UnOp::Exp, _) => {
+                    panic!("log/exp survived simplification")
+                }
+                n => stack.extend(n.children()),
+            }
+        }
+        // Value check: y-sum.
+        let mut vals = vec![0.0; vars.len()];
+        for (i, &x) in xs.iter().enumerate() {
+            vals[map[&x].index()] = (i + 1) as f64;
+        }
+        assert!((p.eval(s, &vals) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_pow_rewrites() {
+        let mut vars = VarTable::new();
+        let va = vars.fresh("a");
+        let mut p = ExprPool::new();
+        let a = p.var(va);
+        let c2 = p.constf(2.0);
+        let w = p.pow(a, c2);
+        let f = p.log(w);
+        let s = simplify(&mut p, &[f])[0];
+        let at = [5.0];
+        assert!((p.eval(s, &at) - 2.0 * 5.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_subterms_fold_inside_the_egraph() {
+        // log(4 * x) distributes to log 4 + log x; the egraph folds log 4 to
+        // a literal so the extracted term contains no log-of-constant.
+        let mut vars = VarTable::new();
+        let vx = vars.fresh("x");
+        let mut p = ExprPool::new();
+        let x = p.var(vx);
+        let ex = p.exp(x);
+        let c4 = p.constf(4.0);
+        let m = p.mul(c4, ex);
+        let f = p.log(m);
+        let s = simplify(&mut p, &[f])[0];
+        assert!((p.eval(s, &[2.0]) - (4.0f64.ln() + 2.0)).abs() < 1e-12);
+        // No Log node reachable: log 4 folded, log(exp x) cancelled.
+        let mut stack = vec![s];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            assert!(
+                !matches!(p.node(id), ENode::Un(UnOp::Log, _)),
+                "log survived constant folding"
+            );
+            stack.extend(p.node(id).children());
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_opaque_ops() {
+        // min/max/select have no rules but must round-trip unchanged.
+        let mut vars = VarTable::new();
+        let va = vars.fresh("a");
+        let mut p = ExprPool::new();
+        let a = p.var(va);
+        let c = p.constf(3.0);
+        let m = p.max(a, c);
+        let s = simplify(&mut p, &[m])[0];
+        assert_eq!(p.eval(s, &[10.0]), 10.0);
+        assert_eq!(p.eval(s, &[1.0]), 3.0);
+    }
+
+    #[test]
+    fn simplify_multiple_roots_share() {
+        let mut vars = VarTable::new();
+        let va = vars.fresh("a");
+        let vb = vars.fresh("b");
+        let mut p = ExprPool::new();
+        let (a, b) = (p.var(va), p.var(vb));
+        let m = p.mul(a, b);
+        let f1 = p.log(m);
+        let two = p.constf(2.0);
+        let f2 = p.mul(m, two);
+        let roots = simplify(&mut p, &[f1, f2]);
+        let at = [2.0, 3.0];
+        assert!((p.eval(roots[0], &at) - 6.0f64.ln()).abs() < 1e-12);
+        assert!((p.eval(roots[1], &at) - 12.0).abs() < 1e-12);
+    }
+}

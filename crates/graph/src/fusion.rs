@@ -1,0 +1,204 @@
+//! Graph partitioning into fused subgraphs and deduplicated tuning tasks
+//! (paper §3.1).
+//!
+//! The partitioner fuses element-wise operators into their producing anchor
+//! operator in the fixed patterns TVM/Ansor use (e.g. Conv→BN→ReLU becomes
+//! one Conv-BN-ReLU subgraph), then deduplicates identical subgraphs into
+//! weighted [`Task`]s: a ResNet has dozens of identical Conv-ReLU layers but
+//! only a handful of distinct tuning tasks.
+
+use crate::{Graph, Op};
+
+/// A fused subgraph: one anchor operator plus its fused element-wise
+/// epilogue chain.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Subgraph {
+    /// The anchor operator (first) followed by fused epilogues in order.
+    pub ops: Vec<Op>,
+}
+
+impl Subgraph {
+    /// The anchor operator.
+    pub fn anchor(&self) -> &Op {
+        &self.ops[0]
+    }
+
+    /// The fused epilogue operators.
+    pub fn epilogues(&self) -> &[Op] {
+        &self.ops[1..]
+    }
+
+    /// Stable key identifying the workload (used for deduplication).
+    pub fn workload_key(&self) -> String {
+        format!("{:?}", self.ops)
+    }
+
+    /// Total floating-point work of the subgraph.
+    pub fn flops(&self) -> f64 {
+        self.ops.iter().map(|o| o.flops()).sum()
+    }
+
+    /// A short display name.
+    pub fn name(&self) -> String {
+        let mut s = self.anchor().short_name().to_string();
+        for _ in self.epilogues() {
+            s.push_str("+ew");
+        }
+        let shape = self.anchor().out_shape();
+        s.push_str(&format!("{shape:?}"));
+        s
+    }
+}
+
+/// A deduplicated tuning task: a subgraph and how many times it occurs.
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// The fused subgraph.
+    pub subgraph: Subgraph,
+    /// Occurrences in the source graph (the task's latency counts this many
+    /// times toward network latency).
+    pub weight: usize,
+}
+
+/// Partitions a graph into fused subgraphs and deduplicates them into tasks.
+///
+/// Fusion rule (greedy, as in Ansor): an element-wise node fuses into the
+/// subgraph of its first input when that producer has exactly one consumer;
+/// otherwise it becomes its own (element-wise-anchored) subgraph.
+pub fn partition(graph: &Graph) -> Vec<Task> {
+    let consumers = graph.consumer_counts();
+    // group[i] = index into `subgraphs` the node belongs to.
+    let mut group: Vec<Option<usize>> = vec![None; graph.nodes.len()];
+    let mut subgraphs: Vec<Vec<usize>> = Vec::new();
+
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let fuse_into = if node.op.is_anchor() {
+            None
+        } else {
+            node.inputs.first().and_then(|p| {
+                let p = p.0 as usize;
+                // Producer must be single-consumer and already grouped, and
+                // the epilogue must preserve the producer's output shape.
+                if consumers[p] == 1
+                    && group[p].is_some()
+                    && graph.nodes[p].op.out_shape().iter().product::<i64>()
+                        == node.op.out_shape().iter().product::<i64>()
+                {
+                    group[p]
+                } else {
+                    None
+                }
+            })
+        };
+        match fuse_into {
+            Some(g) => {
+                subgraphs[g].push(i);
+                group[i] = Some(g);
+            }
+            None => {
+                subgraphs.push(vec![i]);
+                group[i] = Some(subgraphs.len() - 1);
+            }
+        }
+    }
+
+    // Deduplicate by workload key, preserving first-seen order.
+    let mut tasks: Vec<Task> = Vec::new();
+    let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    for sg in subgraphs {
+        let ops: Vec<Op> = sg.iter().map(|&i| graph.nodes[i].op.clone()).collect();
+        let subgraph = Subgraph { ops };
+        let key = subgraph.workload_key();
+        match index.get(&key) {
+            Some(&t) => tasks[t].weight += 1,
+            None => {
+                index.insert(key, tasks.len());
+                tasks.push(Task { subgraph, weight: 1 });
+            }
+        }
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EwKind;
+
+    fn conv(k: i64) -> Op {
+        Op::Conv2d { n: 1, c: 64, k, h: 56, r: 3, stride: 1, pad: 1, groups: 1 }
+    }
+
+    fn relu(shape: Vec<i64>) -> Op {
+        Op::Elementwise { kind: EwKind::Relu, shape }
+    }
+
+    #[test]
+    fn conv_relu_fuses() {
+        let mut g = Graph::new("t");
+        let c = g.push(conv(64), vec![]);
+        g.push(relu(vec![1, 64, 56, 56]), vec![c]);
+        let tasks = partition(&g);
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].subgraph.ops.len(), 2);
+        assert_eq!(tasks[0].weight, 1);
+    }
+
+    #[test]
+    fn repeated_layers_dedupe_with_weight() {
+        let mut g = Graph::new("t");
+        let mut prev = None;
+        for _ in 0..5 {
+            let c = g.push(conv(64), prev.into_iter().collect());
+            let r = g.push(relu(vec![1, 64, 56, 56]), vec![c]);
+            prev = Some(r);
+        }
+        let tasks = partition(&g);
+        assert_eq!(tasks.len(), 1, "identical conv+relu dedupes");
+        assert_eq!(tasks[0].weight, 5);
+    }
+
+    #[test]
+    fn multi_consumer_blocks_fusion() {
+        // conv feeds both a relu and a residual add: relu cannot fuse.
+        let mut g = Graph::new("t");
+        let c = g.push(conv(64), vec![]);
+        let r = g.push(relu(vec![1, 64, 56, 56]), vec![c]);
+        g.push(Op::Elementwise { kind: EwKind::Add, shape: vec![1, 64, 56, 56] }, vec![c, r]);
+        let tasks = partition(&g);
+        // conv alone, relu alone, add fused into relu's group? add's first
+        // input is conv (2 consumers) -> standalone. 3 tasks.
+        assert_eq!(tasks.len(), 3);
+    }
+
+    #[test]
+    fn chain_of_epilogues_fuses_fully() {
+        let mut g = Graph::new("t");
+        let c = g.push(conv(32), vec![]);
+        let b = g.push(
+            Op::Elementwise { kind: EwKind::BatchNorm, shape: vec![1, 32, 56, 56] },
+            vec![c],
+        );
+        g.push(relu(vec![1, 32, 56, 56]), vec![b]);
+        let tasks = partition(&g);
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].subgraph.ops.len(), 3);
+        assert_eq!(tasks[0].subgraph.epilogues().len(), 2);
+    }
+
+    #[test]
+    fn different_shapes_do_not_dedupe() {
+        let mut g = Graph::new("t");
+        g.push(conv(64), vec![]);
+        g.push(conv(128), vec![]);
+        let tasks = partition(&g);
+        assert_eq!(tasks.len(), 2);
+    }
+
+    #[test]
+    fn workload_key_is_stable() {
+        let sg = Subgraph { ops: vec![conv(64), relu(vec![1, 64, 56, 56])] };
+        let sg2 = Subgraph { ops: vec![conv(64), relu(vec![1, 64, 56, 56])] };
+        assert_eq!(sg.workload_key(), sg2.workload_key());
+    }
+}

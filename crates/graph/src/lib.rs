@@ -1,0 +1,392 @@
+//! Tensor operators, computation graphs, operator fusion, and the model zoo.
+//!
+//! A [`Graph`] is a DAG of tensor operator [`Node`]s (the paper's input
+//! representation). [`fusion`] partitions it into fused subgraphs and
+//! deduplicates them into [`Task`]s — the unit Felix/Ansor tune
+//! independently (paper §3.1). [`lower`] turns a subgraph into the naive
+//! loop-nest [`felix_tir::Program`] `p0`. [`models`] builds the six
+//! evaluation networks (ResNet-50, MobileNet-v2, R3D-18, DCGAN, ViT-B/32,
+//! LLaMA).
+
+pub mod fusion;
+pub mod lower;
+pub mod models;
+
+pub use fusion::{partition, Subgraph, Task};
+
+use std::fmt;
+
+/// Identifier of a node within a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// Element-wise operator kinds (cheap ops that fuse into anchors).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum EwKind {
+    /// `max(x, 0)`.
+    Relu,
+    /// Two-input addition (residual connections).
+    Add,
+    /// Broadcast bias addition over the last dimension.
+    BiasAdd,
+    /// Inference-time batch normalization (scale + shift).
+    BatchNorm,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// `x * sigmoid(x)` (LLaMA MLP).
+    Silu,
+    /// Gaussian error linear unit (ViT MLP).
+    Gelu,
+    /// Two-input multiplication (gating).
+    Mul,
+    /// ReLU6 clip (MobileNet-v2).
+    Relu6,
+}
+
+impl EwKind {
+    /// Number of tensor inputs.
+    pub fn arity(self) -> usize {
+        match self {
+            EwKind::Add | EwKind::Mul => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// A tensor operator with its full shape configuration.
+///
+/// Shapes live on the operator (not on edges) because scheduling and cost
+/// estimation need them; graph edges only drive fusion decisions.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// 2-D convolution, NCHW. `groups == in_ch` expresses depthwise.
+    Conv2d {
+        /// Batch size.
+        n: i64,
+        /// Input channels.
+        c: i64,
+        /// Output channels.
+        k: i64,
+        /// Input height/width (square).
+        h: i64,
+        /// Kernel size (square).
+        r: i64,
+        /// Stride.
+        stride: i64,
+        /// Padding.
+        pad: i64,
+        /// Groups (1 = dense conv, `c` = depthwise).
+        groups: i64,
+    },
+    /// 3-D convolution, NCDHW.
+    Conv3d {
+        /// Batch size.
+        n: i64,
+        /// Input channels.
+        c: i64,
+        /// Output channels.
+        k: i64,
+        /// Input depth (frames).
+        d: i64,
+        /// Input height/width (square).
+        h: i64,
+        /// Kernel size (cubic).
+        r: i64,
+        /// Stride.
+        stride: i64,
+        /// Padding.
+        pad: i64,
+    },
+    /// Transposed 2-D convolution (DCGAN generator).
+    ConvTranspose2d {
+        /// Batch size.
+        n: i64,
+        /// Input channels.
+        c: i64,
+        /// Output channels.
+        k: i64,
+        /// Input height/width (square).
+        h: i64,
+        /// Kernel size (square).
+        r: i64,
+        /// Stride (upsampling factor).
+        stride: i64,
+        /// Padding.
+        pad: i64,
+    },
+    /// Dense / fully-connected: `[m, k] x [k, n] -> [m, n]`.
+    Dense {
+        /// Rows (batch × tokens).
+        m: i64,
+        /// Reduction size (input features).
+        k: i64,
+        /// Output features.
+        n: i64,
+    },
+    /// Batched matmul: `[b, m, k] x [b, k, n] -> [b, m, n]`.
+    BatchMatmul {
+        /// Batch (e.g. batch × heads).
+        b: i64,
+        /// Rows.
+        m: i64,
+        /// Reduction size.
+        k: i64,
+        /// Columns.
+        n: i64,
+    },
+    /// Row-wise softmax over `[rows, cols]`.
+    Softmax {
+        /// Independent rows.
+        rows: i64,
+        /// Normalized dimension.
+        cols: i64,
+    },
+    /// Layer normalization over the last dimension (also stands in for
+    /// RMSNorm).
+    LayerNorm {
+        /// Independent rows.
+        rows: i64,
+        /// Normalized dimension.
+        cols: i64,
+    },
+    /// 2-D max pooling.
+    MaxPool2d {
+        /// Batch size.
+        n: i64,
+        /// Channels.
+        c: i64,
+        /// Input height/width.
+        h: i64,
+        /// Window size.
+        r: i64,
+        /// Stride.
+        stride: i64,
+        /// Padding.
+        pad: i64,
+    },
+    /// 2-D average pooling.
+    AvgPool2d {
+        /// Batch size.
+        n: i64,
+        /// Channels.
+        c: i64,
+        /// Input height/width.
+        h: i64,
+        /// Window size.
+        r: i64,
+        /// Stride.
+        stride: i64,
+    },
+    /// Global average pooling `[n, c, h, w] -> [n, c]`.
+    GlobalAvgPool {
+        /// Batch size.
+        n: i64,
+        /// Channels.
+        c: i64,
+        /// Spatial size.
+        h: i64,
+    },
+    /// An element-wise operator over `shape`.
+    Elementwise {
+        /// Kind.
+        kind: EwKind,
+        /// Tensor shape.
+        shape: Vec<i64>,
+    },
+}
+
+impl Op {
+    /// Output shape of the operator.
+    pub fn out_shape(&self) -> Vec<i64> {
+        match self {
+            Op::Conv2d { n, k, h, r, stride, pad, .. } => {
+                let o = (h + 2 * pad - r) / stride + 1;
+                vec![*n, *k, o, o]
+            }
+            Op::Conv3d { n, k, d, h, r, stride, pad, .. } => {
+                let od = (d + 2 * pad - r) / stride + 1;
+                let o = (h + 2 * pad - r) / stride + 1;
+                vec![*n, *k, od, o, o]
+            }
+            Op::ConvTranspose2d { n, k, h, r, stride, pad, .. } => {
+                let o = (h - 1) * stride + r - 2 * pad;
+                vec![*n, *k, o, o]
+            }
+            Op::Dense { m, n, .. } => vec![*m, *n],
+            Op::BatchMatmul { b, m, n, .. } => vec![*b, *m, *n],
+            Op::Softmax { rows, cols } | Op::LayerNorm { rows, cols } => {
+                vec![*rows, *cols]
+            }
+            Op::MaxPool2d { n, c, h, r, stride, pad } => {
+                let o = (h + 2 * pad - r) / stride + 1;
+                vec![*n, *c, o, o]
+            }
+            Op::AvgPool2d { n, c, h, r, stride } => {
+                let o = (h - r) / stride + 1;
+                vec![*n, *c, o, o]
+            }
+            Op::GlobalAvgPool { n, c, .. } => vec![*n, *c],
+            Op::Elementwise { shape, .. } => shape.clone(),
+        }
+    }
+
+    /// Total floating-point operations of the operator.
+    pub fn flops(&self) -> f64 {
+        let out: f64 = self.out_shape().iter().map(|&d| d as f64).product();
+        match self {
+            Op::Conv2d { c, r, groups, .. } => out * 2.0 * (*c as f64 / *groups as f64) * (r * r) as f64,
+            Op::Conv3d { c, r, .. } => out * 2.0 * *c as f64 * (r * r * r) as f64,
+            Op::ConvTranspose2d { c, r, stride, .. } => {
+                // Each output element reduces over c * (r/stride)^2 taps.
+                let taps = ((*r as f64) / (*stride as f64)).ceil().max(1.0);
+                out * 2.0 * *c as f64 * taps * taps
+            }
+            Op::Dense { k, .. } => out * 2.0 * *k as f64,
+            Op::BatchMatmul { k, .. } => out * 2.0 * *k as f64,
+            Op::Softmax { .. } => out * 4.0,
+            Op::LayerNorm { .. } => out * 6.0,
+            Op::MaxPool2d { r, .. } => out * (r * r) as f64,
+            Op::AvgPool2d { r, .. } => out * (r * r) as f64,
+            Op::GlobalAvgPool { h, .. } => out * (*h as f64) * (*h as f64),
+            Op::Elementwise { kind, .. } => {
+                let per = match kind {
+                    EwKind::Tanh | EwKind::Sigmoid | EwKind::Gelu | EwKind::Silu => 4.0,
+                    EwKind::BatchNorm => 2.0,
+                    _ => 1.0,
+                };
+                out * per
+            }
+        }
+    }
+
+    /// True for operators that anchor a fused subgraph (everything except
+    /// element-wise epilogues).
+    pub fn is_anchor(&self) -> bool {
+        !matches!(self, Op::Elementwise { .. })
+    }
+
+    /// A short name for printing.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Op::Conv2d { groups, .. } if *groups > 1 => "dwconv2d",
+            Op::Conv2d { .. } => "conv2d",
+            Op::Conv3d { .. } => "conv3d",
+            Op::ConvTranspose2d { .. } => "tconv2d",
+            Op::Dense { .. } => "dense",
+            Op::BatchMatmul { .. } => "batch_matmul",
+            Op::Softmax { .. } => "softmax",
+            Op::LayerNorm { .. } => "layernorm",
+            Op::MaxPool2d { .. } => "maxpool2d",
+            Op::AvgPool2d { .. } => "avgpool2d",
+            Op::GlobalAvgPool { .. } => "global_avgpool",
+            Op::Elementwise { .. } => "elementwise",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:?}", self.short_name(), self.out_shape())
+    }
+}
+
+/// One node of a computation graph.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Stable id.
+    pub id: NodeId,
+    /// The operator.
+    pub op: Op,
+    /// Producer nodes feeding this operator.
+    pub inputs: Vec<NodeId>,
+}
+
+/// A computation graph: a DAG of tensor operators.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    /// Nodes in topological (insertion) order.
+    pub nodes: Vec<Node>,
+    /// Model name (for reports).
+    pub name: String,
+}
+
+impl Graph {
+    /// An empty graph with a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Graph { nodes: Vec::new(), name: name.into() }
+    }
+
+    /// Appends an operator fed by `inputs`, returning its id.
+    pub fn push(&mut self, op: Op, inputs: Vec<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { id, op, inputs });
+        id
+    }
+
+    /// Number of consumers of each node.
+    pub fn consumer_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for n in &self.nodes {
+            for i in &n.inputs {
+                counts[i.0 as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Total floating-point operations of the whole graph.
+    pub fn total_flops(&self) -> f64 {
+        self.nodes.iter().map(|n| n.op.flops()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shapes() {
+        let c = Op::Conv2d { n: 1, c: 3, k: 64, h: 224, r: 7, stride: 2, pad: 3, groups: 1 };
+        assert_eq!(c.out_shape(), vec![1, 64, 112, 112]);
+        let p = Op::MaxPool2d { n: 1, c: 64, h: 112, r: 3, stride: 2, pad: 1 };
+        assert_eq!(p.out_shape(), vec![1, 64, 56, 56]);
+    }
+
+    #[test]
+    fn tconv_upsamples() {
+        let t = Op::ConvTranspose2d { n: 1, c: 100, k: 512, h: 1, r: 4, stride: 1, pad: 0 };
+        assert_eq!(t.out_shape(), vec![1, 512, 4, 4]);
+        let t2 = Op::ConvTranspose2d { n: 1, c: 512, k: 256, h: 4, r: 4, stride: 2, pad: 1 };
+        assert_eq!(t2.out_shape(), vec![1, 256, 8, 8]);
+    }
+
+    #[test]
+    fn dense_flops() {
+        let d = Op::Dense { m: 1, k: 2048, n: 1000 };
+        assert_eq!(d.flops(), 2.0 * 2048.0 * 1000.0);
+    }
+
+    #[test]
+    fn depthwise_flops_smaller_than_dense_conv() {
+        let dw = Op::Conv2d { n: 1, c: 32, k: 32, h: 112, r: 3, stride: 1, pad: 1, groups: 32 };
+        let full = Op::Conv2d { n: 1, c: 32, k: 32, h: 112, r: 3, stride: 1, pad: 1, groups: 1 };
+        assert!(dw.flops() * 16.0 < full.flops());
+    }
+
+    #[test]
+    fn graph_push_and_consumers() {
+        let mut g = Graph::new("test");
+        let a = g.push(
+            Op::Conv2d { n: 1, c: 3, k: 8, h: 8, r: 3, stride: 1, pad: 1, groups: 1 },
+            vec![],
+        );
+        let b = g.push(Op::Elementwise { kind: EwKind::Relu, shape: vec![1, 8, 8, 8] }, vec![a]);
+        let _c = g.push(Op::Elementwise { kind: EwKind::Add, shape: vec![1, 8, 8, 8] }, vec![a, b]);
+        let counts = g.consumer_counts();
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[2], 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Structural checks of the model zoo against the published architectures.
+
+use felix_graph::{models, partition, EwKind, Op};
+
+#[test]
+fn resnet50_has_53_convolutions() {
+    // 1 stem + 16 bottlenecks x 3 + 4 projection shortcuts = 53.
+    let g = models::resnet50(1);
+    let convs = g
+        .nodes
+        .iter()
+        .filter(|n| matches!(n.op, Op::Conv2d { .. }))
+        .count();
+    assert_eq!(convs, 53);
+    // Exactly one max-pool, one global pool, one classifier.
+    assert_eq!(g.nodes.iter().filter(|n| matches!(n.op, Op::MaxPool2d { .. })).count(), 1);
+    assert_eq!(g.nodes.iter().filter(|n| matches!(n.op, Op::GlobalAvgPool { .. })).count(), 1);
+    assert_eq!(g.nodes.iter().filter(|n| matches!(n.op, Op::Dense { .. })).count(), 1);
+}
+
+#[test]
+fn resnet50_residual_adds_match_block_count() {
+    let g = models::resnet50(1);
+    let adds = g
+        .nodes
+        .iter()
+        .filter(|n| matches!(&n.op, Op::Elementwise { kind: EwKind::Add, .. }))
+        .count();
+    assert_eq!(adds, 16, "one residual add per bottleneck");
+}
+
+#[test]
+fn mobilenet_v2_depthwise_structure() {
+    let g = models::mobilenet_v2(1);
+    let dw = g
+        .nodes
+        .iter()
+        .filter(|n| matches!(&n.op, Op::Conv2d { groups, .. } if *groups > 1))
+        .count();
+    assert_eq!(dw, 17, "17 inverted-residual blocks, one depthwise each");
+    // Final feature size before pooling is 7x7x1280.
+    let head = g
+        .nodes
+        .iter()
+        .filter(|n| matches!(&n.op, Op::Conv2d { k: 1280, .. }))
+        .count();
+    assert_eq!(head, 1);
+}
+
+#[test]
+fn vit_b32_block_counts() {
+    let g = models::vit_b32(1);
+    let softmaxes = g.nodes.iter().filter(|n| matches!(n.op, Op::Softmax { .. })).count();
+    assert_eq!(softmaxes, 12, "one attention softmax per encoder block");
+    let bmms = g.nodes.iter().filter(|n| matches!(n.op, Op::BatchMatmul { .. })).count();
+    assert_eq!(bmms, 24, "scores + context per block");
+    // qkv + proj + 2 MLP per block, plus the classifier head.
+    let denses = g.nodes.iter().filter(|n| matches!(n.op, Op::Dense { .. })).count();
+    assert_eq!(denses, 12 * 4 + 1);
+}
+
+#[test]
+fn llama_7b_shapes() {
+    let g = models::llama(1);
+    // Gated MLP: gate/up are 4096 -> 11008, down is 11008 -> 4096.
+    assert!(g.nodes.iter().any(|n| matches!(n.op, Op::Dense { k: 4096, n: 11008, .. })));
+    assert!(g.nodes.iter().any(|n| matches!(n.op, Op::Dense { k: 11008, n: 4096, .. })));
+    // LM head to the 32000-token vocabulary.
+    assert!(g.nodes.iter().any(|n| matches!(n.op, Op::Dense { n: 32000, .. })));
+    // Attention runs over 32 heads x 100 tokens.
+    assert!(g
+        .nodes
+        .iter()
+        .any(|n| matches!(n.op, Op::BatchMatmul { b: 32, m: 100, .. })));
+}
+
+#[test]
+fn dedup_weights_account_for_every_anchor() {
+    for g in models::all_models(1) {
+        let tasks = partition(&g);
+        let total_weight: usize = tasks.iter().map(|t| t.weight).sum();
+        let standalone_subgraphs = {
+            // Count anchors + element-wise ops that could not fuse.
+            let consumers = g.consumer_counts();
+            g.nodes
+                .iter()
+                .filter(|n| {
+                    n.op.is_anchor()
+                        || n.inputs.first().map_or(true, |p| consumers[p.0 as usize] > 1)
+                })
+                .count()
+        };
+        assert!(
+            total_weight <= g.nodes.len() && total_weight >= standalone_subgraphs / 2,
+            "{}: weight {} vs nodes {}",
+            g.name,
+            total_weight,
+            g.nodes.len()
+        );
+    }
+}
+
+#[test]
+fn batch_16_preserves_task_structure() {
+    // Batch scaling changes shapes, not the number of distinct tasks (much).
+    let t1 = partition(&models::resnet50(1)).len();
+    let t16 = partition(&models::resnet50(16)).len();
+    assert_eq!(t1, t16);
+}
+
+#[test]
+fn r3d18_conv3d_count() {
+    let g = models::r3d18(1);
+    let convs = g.nodes.iter().filter(|n| matches!(n.op, Op::Conv3d { .. })).count();
+    // stem + 8 blocks x 2 + 3 downsample projections = 20.
+    assert_eq!(convs, 20);
+}
+
+#[test]
+fn dcgan_channel_progression() {
+    let g = models::dcgan(1);
+    let ks: Vec<i64> = g
+        .nodes
+        .iter()
+        .filter_map(|n| match n.op {
+            Op::ConvTranspose2d { k, .. } => Some(k),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ks, vec![512, 256, 128, 64, 3]);
+}

@@ -1,0 +1,146 @@
+//! Simulated tuning wall-clock.
+//!
+//! The paper's tuning-time axes (Figs. 7/10, Tables 1/2) measure real
+//! elapsed time, dominated by compiling and running candidate schedules
+//! (each candidate runs for ~100 ms, §5) plus search computation. This clock
+//! reproduces that accounting deterministically so time-vs-quality curves
+//! are comparable across tools.
+
+/// Accumulates simulated tuning time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TuningClock {
+    now_s: f64,
+}
+
+/// Cost constants of the simulated toolchain.
+#[derive(Clone, Copy, Debug)]
+pub struct ClockCosts {
+    /// Seconds to compile one candidate kernel.
+    pub compile_s: f64,
+    /// Seconds each candidate is run on the device (§5: ~100 ms).
+    pub run_s: f64,
+    /// Extra seconds per measurement when the device is driven over RPC.
+    pub rpc_s: f64,
+    /// Seconds per cost-model prediction (batched).
+    pub predict_s: f64,
+    /// Seconds per gradient-descent step per seed (forward + backward).
+    pub grad_step_s: f64,
+    /// Seconds per evolutionary mutation/crossover per candidate.
+    pub evolve_s: f64,
+    /// Seconds to fine-tune the cost model on one round of measurements.
+    pub model_update_s: f64,
+}
+
+impl Default for ClockCosts {
+    fn default() -> Self {
+        ClockCosts {
+            compile_s: 0.7,
+            run_s: 0.1,
+            rpc_s: 0.25,
+            predict_s: 40e-6,
+            grad_step_s: 220e-6,
+            evolve_s: 12e-6,
+            model_update_s: 1.2,
+        }
+    }
+}
+
+impl TuningClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Advances time by an arbitrary amount (for fixed setup costs).
+    pub fn advance(&mut self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "time moves forward");
+        self.now_s += seconds;
+    }
+
+    /// Charges `n` cost-model predictions.
+    pub fn charge_predictions(&mut self, n: usize, costs: &ClockCosts) {
+        self.now_s += n as f64 * costs.predict_s;
+    }
+
+    /// Charges `n` evolutionary-search candidate operations.
+    pub fn charge_evolution(&mut self, n: usize, costs: &ClockCosts) {
+        self.now_s += n as f64 * costs.evolve_s;
+    }
+
+    /// Charges one gradient-descent step over `n_seeds` seeds.
+    pub fn charge_gradient_step(&mut self, n_seeds: usize, costs: &ClockCosts) {
+        self.now_s += n_seeds as f64 * costs.grad_step_s;
+    }
+
+    /// Charges one on-device measurement (compile + timed run + RPC).
+    pub fn charge_measurement(&mut self, rpc: bool, costs: &ClockCosts) {
+        self.now_s += costs.compile_s + costs.run_s;
+        if rpc {
+            self.now_s += costs.rpc_s;
+        }
+    }
+
+    /// Charges one cost-model fine-tuning update.
+    pub fn charge_model_update(&mut self, costs: &ClockCosts) {
+        self.now_s += costs.model_update_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_dominates_prediction() {
+        let costs = ClockCosts::default();
+        let mut a = TuningClock::new();
+        a.charge_predictions(8192, &costs); // one Ansor round of predictions
+        let mut b = TuningClock::new();
+        for _ in 0..64 {
+            b.charge_measurement(false, &costs); // one Ansor round of measures
+        }
+        assert!(b.now_s() > 10.0 * a.now_s());
+    }
+
+    #[test]
+    fn rpc_costs_extra() {
+        let costs = ClockCosts::default();
+        let mut local = TuningClock::new();
+        local.charge_measurement(false, &costs);
+        let mut remote = TuningClock::new();
+        remote.charge_measurement(true, &costs);
+        assert!(remote.now_s() > local.now_s());
+    }
+
+    #[test]
+    fn felix_round_is_cheaper_than_ansor_round() {
+        // Felix: 200 grad steps x 8 seeds + 16 measurements.
+        // Ansor: 2048 x 4 evolution + 8192 predictions + 64 measurements.
+        let costs = ClockCosts::default();
+        let mut felix = TuningClock::new();
+        for _ in 0..200 {
+            felix.charge_gradient_step(8, &costs);
+        }
+        felix.charge_predictions(1600, &costs);
+        for _ in 0..16 {
+            felix.charge_measurement(false, &costs);
+        }
+        let mut ansor = TuningClock::new();
+        ansor.charge_evolution(8192, &costs);
+        ansor.charge_predictions(8192, &costs);
+        for _ in 0..64 {
+            ansor.charge_measurement(false, &costs);
+        }
+        assert!(
+            felix.now_s() * 2.5 < ansor.now_s(),
+            "felix {} vs ansor {}",
+            felix.now_s(),
+            ansor.now_s()
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Behavioral tests of the latency model: the simulator must expose the
+//! schedule tradeoffs that real GPUs (and therefore the paper's search
+//! spaces) exhibit. Each test perturbs one schedule dimension and checks
+//! the latency moves the right way.
+
+use felix_features::{extract_features, feature_index, FeatureSet};
+use felix_graph::lower::lower_subgraph;
+use felix_graph::{Op, Subgraph};
+use felix_sim::{DeviceConfig, Simulator};
+use felix_tir::sketch::{multi_level_tiling_sketch, round_to_valid, HardwareParams};
+use felix_tir::Program;
+
+fn dense_sketch(m: i64, k: i64, n: i64) -> (Program, FeatureSet) {
+    let sg = Subgraph { ops: vec![Op::Dense { m, k, n }] };
+    let p0 = lower_subgraph(&sg);
+    let sk = multi_level_tiling_sketch(&p0, &HardwareParams::default());
+    let mut p = sk.program;
+    let fs = extract_features(&mut p);
+    (p, fs)
+}
+
+/// Latency of a dense-sketch schedule `[TI1,TI2,TI3, TJ1,TJ2,TJ3, TK1, U]`.
+fn lat(p: &Program, fs: &FeatureSet, sim: &Simulator, raw: &[f64]) -> f64 {
+    let vals = round_to_valid(p, raw);
+    assert!(p.constraints_ok(&vals, 0.0), "{:?}", p.violated_constraints(&vals, 0.0));
+    sim.latency_ms(p, fs, &vals)
+}
+
+#[test]
+fn more_threads_help_until_oversubscription() {
+    let (p, fs) = dense_sketch(1024, 1024, 1024);
+    let sim = Simulator::new(DeviceConfig::a5000());
+    // 4x4=16 threads vs 16x16=256 threads (same serial tile).
+    let few = lat(&p, &fs, &sim, &[1.0, 4.0, 4.0, 1.0, 4.0, 4.0, 16.0, 64.0]);
+    let many = lat(&p, &fs, &sim, &[1.0, 16.0, 4.0, 1.0, 16.0, 4.0, 16.0, 64.0]);
+    assert!(many < few, "256 threads {many} should beat 16 threads {few}");
+}
+
+#[test]
+fn register_tile_tradeoff_has_an_interior_optimum() {
+    let (p, fs) = dense_sketch(2048, 2048, 2048);
+    let sim = Simulator::new(DeviceConfig::a5000());
+    // Serial tile 1x1 (no reuse), 4x4 (balanced), 16x16 (register spill).
+    let tiny = lat(&p, &fs, &sim, &[1.0, 16.0, 1.0, 1.0, 16.0, 1.0, 16.0, 64.0]);
+    let mid = lat(&p, &fs, &sim, &[1.0, 16.0, 4.0, 1.0, 16.0, 4.0, 16.0, 64.0]);
+    let huge = lat(&p, &fs, &sim, &[1.0, 16.0, 16.0, 1.0, 16.0, 16.0, 16.0, 64.0]);
+    assert!(mid < tiny, "some register blocking must help: {mid} vs {tiny}");
+    assert!(mid < huge, "excessive register blocking must hurt: {mid} vs {huge}");
+}
+
+#[test]
+fn redundant_traffic_is_not_free() {
+    // The same total work with and without shared-memory staging: the
+    // issued/unique distinction must make the untiled variant slower on a
+    // large working set.
+    let sg = Subgraph { ops: vec![Op::Dense { m: 2048, k: 2048, n: 2048 }] };
+    let p0 = lower_subgraph(&sg);
+    let hw = HardwareParams::default();
+    let sim = Simulator::new(DeviceConfig::a5000());
+    // Thread-bind sketch: every thread streams the whole K dimension.
+    let tb = felix_tir::sketch::thread_bind_sketch(&p0, &hw);
+    let mut tb_p = tb.program;
+    let tb_fs = extract_features(&mut tb_p);
+    let tb_vals = round_to_valid(&tb_p, &[256.0, 1.0, 64.0]);
+    let tb_lat = sim.latency_ms(&tb_p, &tb_fs, &tb_vals);
+    // Tiled sketch with staging.
+    let (p, fs) = dense_sketch(2048, 2048, 2048);
+    let tiled = lat(&p, &fs, &sim, &[2.0, 16.0, 4.0, 2.0, 16.0, 4.0, 16.0, 64.0]);
+    assert!(
+        tiled * 3.0 < tb_lat,
+        "multi-level tiling {tiled} must clearly beat untiled {tb_lat}"
+    );
+}
+
+#[test]
+fn small_kernels_hit_the_launch_overhead_floor() {
+    let sg = Subgraph {
+        ops: vec![Op::Elementwise { kind: felix_graph::EwKind::Relu, shape: vec![32, 32] }],
+    };
+    let p0 = lower_subgraph(&sg);
+    let sk = felix_tir::sketch::thread_bind_sketch(&p0, &HardwareParams::default());
+    let mut p = sk.program;
+    let fs = extract_features(&mut p);
+    let vals = round_to_valid(&p, &[32.0, 1.0, 16.0]);
+    let dev = DeviceConfig::a5000();
+    let sim = Simulator::new(dev);
+    let l = sim.latency_ms(&p, &fs, &vals);
+    assert!(
+        l >= dev.launch_overhead_s * 1e3,
+        "latency {l} cannot undercut the launch overhead"
+    );
+    assert!(l < 0.1, "a 1K-element relu should still be microseconds: {l}");
+}
+
+#[test]
+fn wave_quantization_penalizes_barely_over_full_waves() {
+    let (p, fs) = dense_sketch(4096, 512, 4096);
+    let sim = Simulator::new(DeviceConfig::a5000());
+    let v = |raw: &[f64]| {
+        let vals = round_to_valid(&p, raw);
+        let feats = fs.eval(&p, &vals);
+        (feats[feature_index("num_blocks")], sim.latency_from_features(&feats))
+    };
+    // Two block-tilings of the same problem: compare per-block efficiency
+    // around the wave boundary; latency should not scale better than the
+    // block count ratio predicts when crossing a wave.
+    let (blocks_a, lat_a) = v(&[1.0, 16.0, 8.0, 1.0, 16.0, 8.0, 16.0, 64.0]);
+    let (blocks_b, lat_b) = v(&[1.0, 16.0, 4.0, 1.0, 16.0, 4.0, 16.0, 64.0]);
+    assert!(blocks_b > blocks_a);
+    assert!(lat_a.is_finite() && lat_b.is_finite());
+}
+
+#[test]
+fn all_devices_order_consistently_on_the_same_schedule() {
+    let (p, fs) = dense_sketch(1024, 1024, 1024);
+    let raw = [2.0, 16.0, 4.0, 2.0, 16.0, 4.0, 16.0, 64.0];
+    let vals = round_to_valid(&p, &raw);
+    let mut last = 0.0;
+    // A5000 (fastest bw), A10G, Xavier NX — latency must increase.
+    for dev in [DeviceConfig::a5000(), DeviceConfig::a10g(), DeviceConfig::xavier_nx()] {
+        let l = Simulator::new(dev).latency_ms(&p, &fs, &vals);
+        assert!(l > last, "{} latency {l} must exceed previous {last}", dev.name);
+        last = l;
+    }
+}
+
+#[test]
+fn unrolling_helps_compute_bound_schedules() {
+    // A cache-resident matmul is compute-bound, so ILP from unrolling must
+    // show up; on a memory-bound giant it must at least never hurt.
+    let (p, fs) = dense_sketch(256, 256, 256);
+    let sim = Simulator::new(DeviceConfig::a5000());
+    let no_unroll = lat(&p, &fs, &sim, &[1.0, 16.0, 4.0, 1.0, 16.0, 4.0, 16.0, 1.0]);
+    let unrolled = lat(&p, &fs, &sim, &[1.0, 16.0, 4.0, 1.0, 16.0, 4.0, 16.0, 64.0]);
+    assert!(unrolled < no_unroll, "unroll 64 {unrolled} vs none {no_unroll}");
+    let (pg, fg) = dense_sketch(2048, 2048, 2048);
+    let nu = lat(&pg, &fg, &sim, &[1.0, 16.0, 4.0, 1.0, 16.0, 4.0, 16.0, 1.0]);
+    let un = lat(&pg, &fg, &sim, &[1.0, 16.0, 4.0, 1.0, 16.0, 4.0, 16.0, 64.0]);
+    assert!(un <= nu * 1.0001, "unrolling must never hurt: {un} vs {nu}");
+}

@@ -1,0 +1,124 @@
+//! Pretty-printing of (symbolic) programs, in the style of the paper's
+//! Fig. 3 right column.
+
+use crate::{LoopKind, Program, StageKind};
+use std::fmt::Write as _;
+
+impl Program {
+    /// Renders the program as a nested-loop listing. Loop extents are shown
+    /// symbolically; pass `values` to also show the evaluated extents.
+    pub fn pretty(&self, values: Option<&[f64]>) -> String {
+        let evald = values.map(|v| self.pool.eval_all(v));
+        let mut out = String::new();
+        for (si, st) in self.stages.iter().enumerate() {
+            if st.kind == StageKind::CacheRead {
+                let info = st.cache.expect("cache info");
+                let src = &self.buffers[info.src.0 as usize].name;
+                let dst = &self.buffers[info.shared.0 as usize].name;
+                let _ = write!(out, "// stage {si}: {} ({src} -> {dst}", st.name);
+                if let Some(vals) = &evald {
+                    let _ = write!(
+                        out,
+                        ", {} elems x {} rounds",
+                        vals[info.tile_elems.index()] as i64,
+                        vals[info.rounds.index()] as i64
+                    );
+                }
+                let _ = writeln!(out, ")");
+                continue;
+            }
+            let _ = write!(out, "// stage {si}: {}", st.name);
+            if let Some((t, pos)) = st.compute_at {
+                let _ = write!(out, " (compute_at stage {t}, loop {pos})");
+            }
+            let _ = writeln!(out);
+            let mut depth = 0usize;
+            for l in &st.loops {
+                let ann = match l.kind {
+                    LoopKind::Serial => String::new(),
+                    LoopKind::Unroll => " // unroll".into(),
+                    LoopKind::Vectorize => " // vectorize".into(),
+                    LoopKind::Parallel => " // parallel".into(),
+                    LoopKind::BlockIdx => " // blockIdx.x".into(),
+                    LoopKind::ThreadIdx => " // threadIdx.x".into(),
+                    LoopKind::VThread => " // vthread".into(),
+                };
+                let extent = match &evald {
+                    Some(vals) => format!("{}", vals[l.extent.index()] as i64),
+                    None => format!("{}", self.pool.display(l.extent, &self.vars)),
+                };
+                let _ = writeln!(
+                    out,
+                    "{}for {} in (0, {}){}",
+                    "  ".repeat(depth + 1),
+                    l.name,
+                    extent,
+                    ann
+                );
+                depth += 1;
+            }
+            if let Some(u) = st.unroll_max_step {
+                let s = match &evald {
+                    Some(vals) => format!("{}", vals[u.index()] as i64),
+                    None => format!("{}", self.pool.display(u, &self.vars)),
+                };
+                let _ = writeln!(out, "{}// auto_unroll({s})", "  ".repeat(depth + 1));
+            }
+            let _ = writeln!(out, "{}<body: {}>", "  ".repeat(depth + 1), st.name);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sketch::{multi_level_tiling_sketch, HardwareParams};
+    use crate::{AccessKind, AccessPattern, AxisId, AxisKind, MemScope, OpCounts, Program};
+
+    fn dense(n: i64, m: i64, k: i64) -> Program {
+        let mut p = Program::new();
+        let a = p.add_buffer("A", vec![n, k], 4, MemScope::Global);
+        let b = p.add_buffer("B", vec![k, m], 4, MemScope::Global);
+        let d = p.add_buffer("D", vec![n, m], 4, MemScope::Global);
+        let (ai, aj, ak) = (AxisId(0), AxisId(1), AxisId(2));
+        p.add_stage(
+            "dense",
+            vec![
+                ("i".into(), n, AxisKind::Spatial),
+                ("j".into(), m, AxisKind::Spatial),
+                ("k".into(), k, AxisKind::Reduction),
+            ],
+            vec![
+                AccessPattern { buffer: a, kind: AccessKind::Read, dims: vec![vec![(ai, 1)], vec![(ak, 1)]] },
+                AccessPattern { buffer: b, kind: AccessKind::Read, dims: vec![vec![(ak, 1)], vec![(aj, 1)]] },
+                AccessPattern { buffer: d, kind: AccessKind::Write, dims: vec![vec![(ai, 1)], vec![(aj, 1)]] },
+            ],
+            OpCounts { fadd: 1.0, fmul: 1.0, ..OpCounts::default() },
+        );
+        p
+    }
+
+    #[test]
+    fn symbolic_pretty_mentions_vars() {
+        let p = dense(512, 512, 512);
+        let s = multi_level_tiling_sketch(&p, &HardwareParams::default());
+        let txt = s.program.pretty(None);
+        assert!(txt.contains("blockIdx.x"), "{txt}");
+        assert!(txt.contains("threadIdx.x"), "{txt}");
+        assert!(txt.contains("vthread"), "{txt}");
+        assert!(txt.contains("TI1"), "{txt}");
+        assert!(txt.contains("auto_unroll"), "{txt}");
+    }
+
+    #[test]
+    fn concrete_pretty_shows_numbers() {
+        let p = dense(512, 512, 512);
+        let s = multi_level_tiling_sketch(&p, &HardwareParams::default());
+        // TI1,TI2,TI3, TJ1,TJ2,TJ3, TK1, UNROLL0
+        let vals = vec![2.0, 8.0, 4.0, 2.0, 8.0, 4.0, 8.0, 64.0];
+        let txt = s.program.pretty(Some(&vals));
+        // i.0 extent = 512/(2*8*4) = 8.
+        assert!(txt.contains("for i.0 in (0, 8)"), "{txt}");
+        assert!(txt.contains("auto_unroll(64)"), "{txt}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Structural legality verification of (symbolic) programs.
+//!
+//! Schedule transformations must preserve a set of invariants for the
+//! generated program to be meaningful; this verifier checks them and is run
+//! by tests (and available to users extending the sketch rules):
+//!
+//! - **Coverage**: the loops of each axis multiply back to the axis extent
+//!   (for any valid assignment) — splits neither drop nor duplicate work.
+//! - **Multiplier consistency**: the stride multipliers of an axis's loops
+//!   are the products of the extents of the inner levels of the same axis.
+//! - **Binding order**: `blockIdx` loops precede `vthread` loops precede
+//!   `threadIdx` loops in every nest (the CUDA launch hierarchy).
+//! - **Reference validity**: `compute_at` targets exist and are acyclic;
+//!   accesses reference existing buffers; cache stages carry their info.
+
+use crate::{AxisKind, LoopKind, Program, StageKind};
+use std::fmt;
+
+/// A verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Offending stage index.
+    pub stage: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stage {}: {}", self.stage, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies all structural invariants at a concrete variable assignment
+/// (coverage/multiplier checks need numeric values; pass a valid schedule).
+pub fn verify(program: &Program, values: &[f64]) -> Result<(), Vec<VerifyError>> {
+    let mut errors = Vec::new();
+    let vals = program.pool.eval_all(values);
+    let ev = |e: felix_expr::ExprId| vals[e.index()];
+
+    for (si, st) in program.stages.iter().enumerate() {
+        if st.kind == StageKind::CacheRead {
+            if st.cache.is_none() {
+                errors.push(VerifyError {
+                    stage: si,
+                    message: "cache-read stage without cache info".into(),
+                });
+            }
+            continue;
+        }
+        // Coverage + multiplier consistency per axis.
+        for axis in &st.axes {
+            let loops: Vec<_> =
+                st.loops.iter().filter(|l| l.axis == axis.id).collect();
+            if st.compute_at.is_some() {
+                // Fused stages cover only the host's inner tile; skip.
+                continue;
+            }
+            if loops.is_empty() {
+                errors.push(VerifyError {
+                    stage: si,
+                    message: format!("axis {} has no loop", axis.name),
+                });
+                continue;
+            }
+            let product: f64 = loops.iter().map(|l| ev(l.extent)).product();
+            if (product - axis.extent as f64).abs() > 1e-6 * axis.extent as f64 {
+                errors.push(VerifyError {
+                    stage: si,
+                    message: format!(
+                        "axis {} loops cover {product}, extent is {}",
+                        axis.name, axis.extent
+                    ),
+                });
+            }
+            // The loop with the largest multiplier is outermost; each loop's
+            // multiplier equals the product of extents of strictly-inner
+            // loops of the same axis.
+            let mut by_mult: Vec<_> = loops.iter().collect();
+            by_mult.sort_by(|a, b| {
+                ev(b.mult).partial_cmp(&ev(a.mult)).expect("finite mult")
+            });
+            let mut inner_prod = 1.0;
+            for l in by_mult.iter().rev() {
+                let m = ev(l.mult);
+                if (m - inner_prod).abs() > 1e-6 * inner_prod.max(1.0) {
+                    errors.push(VerifyError {
+                        stage: si,
+                        message: format!(
+                            "loop {} multiplier {m} != product of inner extents {inner_prod}",
+                            l.name
+                        ),
+                    });
+                    break;
+                }
+                inner_prod *= ev(l.extent);
+            }
+        }
+        // Binding order: block ≤ vthread ≤ thread positions.
+        let rank = |k: LoopKind| match k {
+            LoopKind::BlockIdx => Some(0),
+            LoopKind::VThread => Some(1),
+            LoopKind::ThreadIdx => Some(2),
+            _ => None,
+        };
+        let mut last_rank = 0;
+        for l in &st.loops {
+            if let Some(r) = rank(l.kind) {
+                if r < last_rank {
+                    errors.push(VerifyError {
+                        stage: si,
+                        message: format!(
+                            "loop {} breaks the block/vthread/thread nesting order",
+                            l.name
+                        ),
+                    });
+                }
+                last_rank = r;
+            }
+        }
+        // compute_at references.
+        if let Some((target, pos)) = st.compute_at {
+            if target >= program.stages.len() {
+                errors.push(VerifyError {
+                    stage: si,
+                    message: format!("compute_at target {target} out of range"),
+                });
+            } else {
+                if program.stages[target].compute_at.is_some() {
+                    errors.push(VerifyError {
+                        stage: si,
+                        message: "compute_at target is itself fused (cycle risk)".into(),
+                    });
+                }
+                if pos >= program.stages[target].loops.len() {
+                    errors.push(VerifyError {
+                        stage: si,
+                        message: format!("compute_at position {pos} out of range"),
+                    });
+                }
+            }
+        }
+        // Access buffer ids.
+        for a in &st.accesses {
+            if a.buffer.0 as usize >= program.buffers.len() {
+                errors.push(VerifyError {
+                    stage: si,
+                    message: format!("access references missing buffer {:?}", a.buffer),
+                });
+            }
+        }
+        // Reduction axes must never be bound to parallel hardware axes
+        // (cross-thread reductions are out of this search space).
+        for l in &st.loops {
+            if l.kind.is_gpu_binding()
+                && st.axis(l.axis).kind == AxisKind::Reduction
+            {
+                errors.push(VerifyError {
+                    stage: si,
+                    message: format!("reduction loop {} bound to {:?}", l.name, l.kind),
+                });
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::{generate_sketches, round_to_valid, HardwareParams};
+    use crate::steps::{apply, Step};
+    use crate::{AccessKind, AccessPattern, AxisId, MemScope, OpCounts};
+
+    fn dense(n: i64, m: i64, k: i64) -> Program {
+        let mut p = Program::new();
+        let a = p.add_buffer("A", vec![n, k], 4, MemScope::Global);
+        let b = p.add_buffer("B", vec![k, m], 4, MemScope::Global);
+        let d = p.add_buffer("D", vec![n, m], 4, MemScope::Global);
+        let (ai, aj, ak) = (AxisId(0), AxisId(1), AxisId(2));
+        p.add_stage(
+            "dense",
+            vec![
+                ("i".into(), n, AxisKind::Spatial),
+                ("j".into(), m, AxisKind::Spatial),
+                ("k".into(), k, AxisKind::Reduction),
+            ],
+            vec![
+                AccessPattern { buffer: a, kind: AccessKind::Read, dims: vec![vec![(ai, 1)], vec![(ak, 1)]] },
+                AccessPattern { buffer: b, kind: AccessKind::Read, dims: vec![vec![(ak, 1)], vec![(aj, 1)]] },
+                AccessPattern { buffer: d, kind: AccessKind::Write, dims: vec![vec![(ai, 1)], vec![(aj, 1)]] },
+            ],
+            OpCounts { fadd: 1.0, fmul: 1.0, ..OpCounts::default() },
+        );
+        p
+    }
+
+    #[test]
+    fn naive_program_verifies() {
+        let p = dense(64, 64, 64);
+        assert_eq!(verify(&p, &[]), Ok(()));
+    }
+
+    #[test]
+    fn generated_sketches_verify_at_valid_schedules() {
+        let p0 = dense(512, 384, 256);
+        for sk in generate_sketches(&p0, &HardwareParams::default()) {
+            let vals = round_to_valid(
+                &sk.program,
+                &vec![2.0; sk.program.vars.len()],
+            );
+            if let Err(errs) = verify(&sk.program, &vals) {
+                panic!("{} sketch fails verification: {errs:?}", sk.name);
+            }
+        }
+    }
+
+    #[test]
+    fn detects_dropped_axis_coverage() {
+        let mut p = dense(64, 64, 64);
+        // Corrupt: shrink a loop extent so the axis is under-covered.
+        let half = p.pool.consti(32);
+        p.stages[0].loops[0].extent = half;
+        let errs = verify(&p, &[]).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("cover")));
+    }
+
+    #[test]
+    fn detects_wrong_multiplier() {
+        let mut p = dense(64, 64, 64);
+        let t = p.vars.fresh("T");
+        let x = p.pool.var(t);
+        apply(&mut p, &Step::Tile { stage: 0, axis: AxisId(0), factors: vec![x] });
+        // Corrupt the inner loop's multiplier.
+        let bad = p.pool.consti(3);
+        let pos = p.stages[0].loops.iter().position(|l| l.name == "i.1").unwrap();
+        p.stages[0].loops[pos].mult = bad;
+        let errs = verify(&p, &[8.0]).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("multiplier")));
+    }
+
+    #[test]
+    fn detects_binding_order_violation() {
+        let mut p = dense(64, 64, 64);
+        apply(&mut p, &Step::Bind { stage: 0, pos: 0, kind: LoopKind::ThreadIdx });
+        apply(&mut p, &Step::Bind { stage: 0, pos: 1, kind: LoopKind::BlockIdx });
+        let errs = verify(&p, &[]).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("nesting order")));
+    }
+
+    #[test]
+    fn detects_parallel_reduction() {
+        let mut p = dense(64, 64, 64);
+        apply(&mut p, &Step::Bind { stage: 0, pos: 2, kind: LoopKind::ThreadIdx });
+        let errs = verify(&p, &[]).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("reduction loop")));
+    }
+}

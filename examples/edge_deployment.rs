@@ -1,0 +1,71 @@
+//! The paper's motivating scenario: time-constrained tuning for a
+//! resource-constrained edge device. Tunes MobileNet-v2 for the Jetson
+//! Xavier NX and reports how quickly Felix beats the vendor libraries
+//! (§6.1, Table 1), where measurements are extra expensive because they go
+//! over RPC.
+//!
+//! ```sh
+//! cargo run --release --example edge_deployment
+//! ```
+
+use felix::{extract_subgraphs, pretrained_cost_model, ModelQuality, Optimizer};
+use felix_graph::models;
+use felix_sim::vendor::{vendor_network_latency, Vendor};
+use felix_sim::DeviceConfig;
+
+fn main() {
+    let device = DeviceConfig::xavier_nx();
+    let dnn = models::mobilenet_v2(1);
+    let tasks = extract_subgraphs(&dnn);
+
+    // What the off-the-shelf frameworks achieve on this board.
+    println!("{} on {}:", dnn.name, device.name);
+    let mut best_vendor = f64::INFINITY;
+    for v in Vendor::all() {
+        match vendor_network_latency(&dnn.name, &tasks, v, &device) {
+            Some(l) => {
+                println!("  {:<11} {l:>8.3} ms", v.name());
+                best_vendor = best_vendor.min(l);
+            }
+            None => println!("  {:<11} (cannot run)", v.name()),
+        }
+    }
+
+    // Tune with Felix, checking after each block of rounds whether we have
+    // passed the best vendor library yet.
+    let cost_model = pretrained_cost_model(&device, ModelQuality::Fast);
+    let mut opt = Optimizer::new(tasks, cost_model, device);
+    let n_tasks = opt.tasks().len();
+    let mut beaten_at: Option<f64> = None;
+    for block in 0..4 {
+        let res = opt.optimize_all(n_tasks, 16);
+        println!(
+            "after {:>4.0} s of tuning: {:.3} ms",
+            opt.tuning_time_s(),
+            res.final_latency_ms
+        );
+        if beaten_at.is_none() && res.final_latency_ms < best_vendor {
+            // Find the first curve point that crossed the vendor line.
+            beaten_at = opt
+                .history
+                .iter()
+                .find(|p| p.latency_ms < best_vendor)
+                .map(|p| p.time_s);
+        }
+        if beaten_at.is_some() && block >= 1 {
+            break;
+        }
+    }
+    match beaten_at {
+        Some(t) => println!(
+            "\nFelix beat the best vendor library ({best_vendor:.3} ms) after {t:.0} s of tuning"
+        ),
+        None => println!("\nvendor libraries still ahead — run more rounds"),
+    }
+    let compiled = opt.compile_with_best_configs();
+    println!(
+        "final: {:.3} ms ({:.2}x vs best vendor)",
+        compiled.latency_ms(),
+        best_vendor / compiled.latency_ms()
+    );
+}

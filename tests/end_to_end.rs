@@ -1,0 +1,118 @@
+//! Cross-crate integration tests: the full Felix pipeline from model zoo to
+//! compiled module, exercised through the umbrella crate.
+
+use felix_repro::felix::{
+    extract_subgraphs, pretrained_cost_model, FelixOptions, ModelQuality, Optimizer,
+};
+use felix_repro::graph::models;
+use felix_repro::sim::vendor::{vendor_network_latency, Vendor};
+use felix_repro::sim::DeviceConfig;
+
+fn quick_options() -> FelixOptions {
+    FelixOptions { n_seeds: 4, n_steps: 40, ..Default::default() }
+}
+
+#[test]
+fn dcgan_tunes_end_to_end_and_beats_worst_vendor() {
+    let device = DeviceConfig::a5000();
+    let dnn = models::dcgan(1);
+    let tasks = extract_subgraphs(&dnn);
+    let model = pretrained_cost_model(&device, ModelQuality::Fast);
+    let mut opt = Optimizer::with_options(tasks.clone(), model, device, quick_options());
+    let rounds = opt.tasks().len() * 3;
+    let res = opt.optimize_all(rounds, 8);
+    assert!(res.final_latency_ms.is_finite() && res.final_latency_ms > 0.0);
+    // DCGAN is a "small/uncommon layers" network: even a quick tune should
+    // land below TensorFlow's baseline (the weakest vendor, §6.1).
+    let tf = vendor_network_latency(&dnn.name, &tasks, Vendor::TensorFlow, &device)
+        .expect("TF runs DCGAN");
+    assert!(
+        res.final_latency_ms < tf,
+        "felix {} ms should beat TensorFlow {} ms on DCGAN",
+        res.final_latency_ms,
+        tf
+    );
+}
+
+#[test]
+fn compiled_module_is_consistent_with_tuning() {
+    let device = DeviceConfig::a10g();
+    let dnn = models::llama_with_config(1, 16, 128, 4, 344, 2);
+    let tasks = extract_subgraphs(&dnn);
+    let model = pretrained_cost_model(&device, ModelQuality::Fast);
+    let mut opt = Optimizer::with_options(tasks, model, device, quick_options());
+    let rounds = opt.tasks().len() + 2;
+    let res = opt.optimize_all(rounds, 4);
+    let module = opt.compile_with_best_configs();
+    assert!((module.latency_ms() - res.final_latency_ms).abs() < 1e-9);
+    // Every kernel's stored schedule must be valid for its sketch.
+    for (k, task) in module.kernels.iter().zip(opt.tasks()) {
+        let st = &task.sketches[k.sketch];
+        assert!(st.program.constraints_ok(&k.values, 1e-9), "{}", k.task_name);
+        assert!(k.latency_ms > 0.0);
+    }
+}
+
+#[test]
+fn curves_are_monotonically_nonincreasing() {
+    let device = DeviceConfig::a5000();
+    let dnn = models::dcgan(1);
+    let tasks = extract_subgraphs(&dnn);
+    let model = pretrained_cost_model(&device, ModelQuality::Fast);
+    let mut opt = Optimizer::with_options(tasks, model, device, quick_options());
+    let rounds = opt.tasks().len() * 2;
+    let res = opt.optimize_all(rounds, 4);
+    let mut prev = f64::INFINITY;
+    for p in &res.curve {
+        assert!(
+            p.latency_ms <= prev + 1e-9,
+            "best-so-far curve must not regress: {} after {}",
+            p.latency_ms,
+            prev
+        );
+        prev = p.latency_ms;
+    }
+    // Time axis strictly increases.
+    let mut t = -1.0;
+    for p in &res.curve {
+        assert!(p.time_s > t);
+        t = p.time_s;
+    }
+}
+
+#[test]
+fn vendor_support_matrix_is_honoured_end_to_end() {
+    let nx = DeviceConfig::xavier_nx();
+    let llama = models::llama_with_config(1, 16, 128, 4, 344, 2);
+    let tasks = extract_subgraphs(&llama);
+    for v in Vendor::all() {
+        assert!(
+            vendor_network_latency(&llama.name, &tasks, v, &nx).is_none(),
+            "LLaMA must not run on Xavier NX under {}",
+            v.name()
+        );
+    }
+}
+
+#[test]
+fn all_six_networks_partition_and_lower() {
+    use felix_repro::graph::lower::lower_subgraph;
+    for g in models::all_models(1) {
+        let tasks = extract_subgraphs(&g);
+        assert!(!tasks.is_empty(), "{}", g.name);
+        for t in &tasks {
+            let p0 = lower_subgraph(&t.subgraph);
+            assert!(!p0.stages.is_empty());
+            // Total weighted flops of anchor stages must be positive.
+            assert!(t.subgraph.flops() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn sixteen_batch_networks_build_and_partition() {
+    for g in [models::resnet50(16), models::vit_b32(16), models::dcgan(16)] {
+        let tasks = extract_subgraphs(&g);
+        assert!(!tasks.is_empty(), "{}", g.name);
+    }
+}
