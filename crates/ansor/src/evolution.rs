@@ -145,6 +145,13 @@ impl Proposer for EvolutionaryProposer {
         let mut seen = std::collections::HashSet::new();
         for i in order {
             let (sk, vals) = &pop[i];
+            // `random_schedule` falls back to its least-violating draw when
+            // the sampling budget finds no fully-valid point; such candidates
+            // would be rejected at measurement time, so drop them here rather
+            // than waste proposal slots.
+            if !task.sketches[*sk].program.constraints_ok(vals, 0.0) {
+                continue;
+            }
             let key = format!("{sk}:{vals:?}");
             if seen.contains(&key) || task.already_measured(*sk, vals) {
                 continue;

@@ -118,11 +118,61 @@ impl SearchTask {
     }
 }
 
+/// Per-round observability counters of a proposer, drained via
+/// [`Proposer::take_stats`]. One entry is recorded per `propose` call.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TunerStats {
+    /// Gradient-descent steps executed this round (seeds × steps for the
+    /// gradient proposer; zero for proposers without a descent phase).
+    pub grad_steps: usize,
+    /// Wall-clock descent throughput, in steps per second.
+    pub steps_per_sec: f64,
+    /// Rounded trajectory points examined this round.
+    pub candidates: usize,
+    /// Fraction of rounded points rejected because a validity constraint
+    /// was violated (the penalty terms failed to keep the seed feasible).
+    pub penalty_violation_rate: f64,
+    /// Fraction of rounded points rejected as duplicates of an earlier
+    /// point or of an already-measured schedule (rounding collapsed distinct
+    /// relaxed points onto one lattice point).
+    pub rounding_rejection_rate: f64,
+    /// Compiled-objective cache hits (sketch objectives reused from an
+    /// earlier round on the same task).
+    pub cache_hits: usize,
+    /// Compiled-objective cache misses (objectives built this round).
+    pub cache_misses: usize,
+    /// Worker threads the round ran on (1 = serial).
+    pub threads: usize,
+}
+
+impl TunerStats {
+    /// One-line human-readable rendering for bench binaries and logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "steps {} ({:.0}/s, {} thr) cand {} viol {:.0}% dup {:.0}% cache {}/{}",
+            self.grad_steps,
+            self.steps_per_sec,
+            self.threads,
+            self.candidates,
+            self.penalty_violation_rate * 100.0,
+            self.rounding_rejection_rate * 100.0,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+        )
+    }
+}
+
 /// A candidate-proposal algorithm: the only part that differs between Ansor
 /// (evolutionary) and Felix (gradient descent).
 pub trait Proposer {
     /// Algorithm name for reports.
     fn name(&self) -> &'static str;
+
+    /// Per-round observability counters since the last drain (empty for
+    /// proposers that do not record any).
+    fn take_stats(&mut self) -> Vec<TunerStats> {
+        Vec::new()
+    }
 
     /// Proposes up to `n` unmeasured candidates `(sketch_idx, values)` for
     /// one round, charging its own search time to `clock`.

@@ -1,12 +1,12 @@
-//! Criterion benchmarks tracking the cost of each experiment's unit of work
-//! — one group per table/figure of the paper, so regressions in any
-//! reproduction path are caught. The full experiments run as binaries
+//! Benchmarks tracking the cost of each experiment's unit of work — one
+//! group per table/figure of the paper, so regressions in any reproduction
+//! path are caught. The full experiments run as binaries
 //! (`cargo run -p felix-bench --release --bin fig7` etc., see DESIGN.md).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use felix::{FelixOptions, GradientProposer};
 use felix_ansor::evolution::EvolutionConfig;
 use felix_ansor::{EvolutionaryProposer, Proposer, SearchTask};
+use felix_bench::harness::BenchGroup;
 use felix_cost::{pretrain, Mlp, TrainConfig};
 use felix_expr::smooth::{smooth_relu, smooth_select};
 use felix_graph::{models, partition, Op, Subgraph, Task};
@@ -40,54 +40,49 @@ fn dense_task() -> SearchTask {
     )
 }
 
-fn bench_fig4(c: &mut Criterion) {
-    c.benchmark_group("fig4_smoothing")
-        .bench_function("smooth_kernels_200_points", |b| {
-            b.iter(|| {
-                let mut acc = 0.0;
-                for i in 0..200 {
-                    let x = -5.0 + i as f64 * 0.05;
-                    acc += smooth_select(x, 5.0, 2.0) + smooth_relu(x);
-                }
-                black_box(acc)
-            })
-        });
+fn bench_fig4() {
+    BenchGroup::new("fig4_smoothing").bench("smooth_kernels_200_points", || {
+        let mut acc = 0.0;
+        for i in 0..200 {
+            let x = -5.0 + i as f64 * 0.05;
+            acc += smooth_select(x, 5.0, 2.0) + smooth_relu(x);
+        }
+        black_box(acc)
+    });
 }
 
-fn bench_fig6_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_table1_vendor_baselines");
-    g.sample_size(10);
+fn bench_fig6_table1() {
+    let g = BenchGroup::new("fig6_table1_vendor_baselines").max_iters(200);
     let sg = Subgraph {
         ops: vec![Op::Conv2d { n: 1, c: 64, k: 64, h: 56, r: 3, stride: 1, pad: 1, groups: 1 }],
     };
     let dev = DeviceConfig::a5000();
-    g.bench_function("vendor_task_latency", |b| {
-        b.iter(|| black_box(vendor_task_latency(&sg, Vendor::TensorRT, &dev)))
+    g.bench("vendor_task_latency", || {
+        black_box(vendor_task_latency(&sg, Vendor::TensorRT, &dev))
     });
     let net = models::dcgan(1);
     let tasks = partition(&net);
-    g.bench_function("vendor_network_latency_dcgan", |b| {
-        b.iter(|| black_box(vendor_network_latency(&net.name, &tasks, Vendor::PyTorch, &dev)))
+    g.bench("vendor_network_latency_dcgan", || {
+        black_box(vendor_network_latency(&net.name, &tasks, Vendor::PyTorch, &dev))
     });
-    g.finish();
 }
 
-fn bench_fig7_fig10_rounds(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_fig10_tuning_rounds");
-    g.sample_size(10);
+fn bench_fig7_fig10_rounds() {
+    let g = BenchGroup::new("fig7_fig10_tuning_rounds").max_iters(20);
     let model = small_model();
     let costs = ClockCosts::default();
 
-    g.bench_function("felix_propose_round", |b| {
+    {
         let task = dense_task();
         let mut rng = StdRng::seed_from_u64(1);
-        let mut prop = GradientProposer::new(FelixOptions { n_seeds: 4, n_steps: 50, ..Default::default() });
-        b.iter(|| {
+        let mut prop =
+            GradientProposer::new(FelixOptions { n_seeds: 4, n_steps: 50, ..Default::default() });
+        g.bench("felix_propose_round", || {
             let mut clock = TuningClock::new();
             black_box(prop.propose(&task, &model, 16, &mut clock, &costs, &mut rng))
-        })
-    });
-    g.bench_function("ansor_propose_round_pop256", |b| {
+        });
+    }
+    {
         let task = dense_task();
         let mut rng = StdRng::seed_from_u64(1);
         let mut prop = EvolutionaryProposer::new(EvolutionConfig {
@@ -95,17 +90,15 @@ fn bench_fig7_fig10_rounds(c: &mut Criterion) {
             generations: 4,
             ..Default::default()
         });
-        b.iter(|| {
+        g.bench("ansor_propose_round_pop256", || {
             let mut clock = TuningClock::new();
             black_box(prop.propose(&task, &model, 64, &mut clock, &costs, &mut rng))
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-fn bench_fig8_fig9(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_fig9_population_scoring");
-    g.sample_size(10);
+fn bench_fig8_fig9() {
+    let g = BenchGroup::new("fig8_fig9_population_scoring").max_iters(100);
     let task = dense_task();
     let model = small_model();
     let st = &task.sketches[1];
@@ -113,44 +106,36 @@ fn bench_fig8_fig9(c: &mut Criterion) {
     let cands: Vec<Vec<f64>> = (0..64)
         .map(|_| felix_cost::random_schedule(&st.program, &mut rng, 32))
         .collect();
-    g.bench_function("score_64_candidates", |b| {
-        b.iter(|| {
-            let mut best = f64::NEG_INFINITY;
-            for c in &cands {
-                let raw = st.features.eval(&st.program, c);
-                let s = model.predict(&felix_cost::log_transform(&raw));
-                if s > best {
-                    best = s;
-                }
+    g.bench("score_64_candidates", || {
+        let mut best = f64::NEG_INFINITY;
+        for c in &cands {
+            let raw = st.features.eval(&st.program, c);
+            let s = model.predict(&felix_cost::log_transform(&raw));
+            if s > best {
+                best = s;
             }
-            black_box(best)
-        })
+        }
+        black_box(best)
     });
-    g.finish();
 }
 
-fn bench_table2_milestones(c: &mut Criterion) {
-    c.benchmark_group("table2_milestones")
-        .bench_function("milestone_speedup_2000_points", |b| {
-            let felix: Vec<felix_ansor::CurvePoint> = (0..2000)
-                .map(|i| felix_ansor::CurvePoint {
-                    time_s: i as f64,
-                    latency_ms: 10.0 / (1.0 + i as f64 * 0.01),
-                })
-                .collect();
-            let ansor = felix.clone();
-            b.iter(|| {
-                black_box(felix_bench::milestone_speedup(&felix, &ansor, 0.5, 95.0))
-            })
-        });
+fn bench_table2_milestones() {
+    let felix: Vec<felix_ansor::CurvePoint> = (0..2000)
+        .map(|i| felix_ansor::CurvePoint {
+            time_s: i as f64,
+            latency_ms: 10.0 / (1.0 + i as f64 * 0.01),
+        })
+        .collect();
+    let ansor = felix.clone();
+    BenchGroup::new("table2_milestones").bench("milestone_speedup_2000_points", || {
+        black_box(felix_bench::milestone_speedup(&felix, &ansor, 0.5, 95.0))
+    });
 }
 
-criterion_group!(
-    benches,
-    bench_fig4,
-    bench_fig6_table1,
-    bench_fig7_fig10_rounds,
-    bench_fig8_fig9,
-    bench_table2_milestones
-);
-criterion_main!(benches);
+fn main() {
+    bench_fig4();
+    bench_fig6_table1();
+    bench_fig7_fig10_rounds();
+    bench_fig8_fig9();
+    bench_table2_milestones();
+}

@@ -1,8 +1,8 @@
-//! Criterion microbenchmarks of the primitives every experiment rests on:
+//! Microbenchmarks of the primitives every experiment rests on:
 //! the symbolic pipeline (Fig. 2's boxes) and both search kernels.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use felix::objective::SketchObjective;
+use felix_bench::harness::BenchGroup;
 use felix_cost::{AdamOpt, Mlp};
 use felix_expr::{smooth_all, ExprPool, VarTable};
 use felix_features::extract_features;
@@ -22,42 +22,33 @@ fn conv_subgraph() -> Subgraph {
     }
 }
 
-fn bench_symbolic_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("symbolic_pipeline");
+fn bench_symbolic_pipeline() {
+    let g = BenchGroup::new("symbolic_pipeline");
     let p0 = lower_subgraph(&conv_subgraph());
     let hw = HardwareParams::default();
 
-    g.bench_function("sketch_generation", |b| {
-        b.iter(|| black_box(generate_sketches(&p0, &hw)))
-    });
+    g.bench("sketch_generation", || black_box(generate_sketches(&p0, &hw)));
 
     let sk = multi_level_tiling_sketch(&p0, &hw);
-    g.bench_function("feature_extraction", |b| {
-        b.iter(|| {
-            let mut p = sk.program.clone();
-            black_box(extract_features(&mut p))
-        })
+    g.bench("feature_extraction", || {
+        let mut p = sk.program.clone();
+        black_box(extract_features(&mut p))
     });
 
     let mut program = sk.program.clone();
     let fs = extract_features(&mut program);
-    g.bench_function("objective_build_smooth_subst_simplify", |b| {
-        b.iter(|| black_box(SketchObjective::build(&program, &fs.exprs)))
+    g.bench("objective_build_smooth_subst_simplify", || {
+        black_box(SketchObjective::build(&program, &fs.exprs))
     });
 
     let vals = round_to_valid(&program, &vec![2.0; program.vars.len()]);
-    g.bench_function("feature_eval_concrete", |b| {
-        b.iter(|| black_box(fs.eval(&program, &vals)))
-    });
-    g.bench_function("round_to_valid", |b| {
-        let raw = vec![3.7; program.vars.len()];
-        b.iter(|| black_box(round_to_valid(&program, &raw)))
-    });
-    g.finish();
+    g.bench("feature_eval_concrete", || black_box(fs.eval(&program, &vals)));
+    let raw = vec![3.7; program.vars.len()];
+    g.bench("round_to_valid", || black_box(round_to_valid(&program, &raw)));
 }
 
-fn bench_expr_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("expr_kernels");
+fn bench_expr_kernels() {
+    let g = BenchGroup::new("expr_kernels");
     // A mid-sized smooth DAG: the smoothed log-features of the conv sketch.
     let p0 = lower_subgraph(&conv_subgraph());
     let sk = multi_level_tiling_sketch(&p0, &HardwareParams::default());
@@ -67,43 +58,35 @@ fn bench_expr_kernels(c: &mut Criterion) {
     let roots = smooth_all(&mut program.pool, &logf);
     let values = vec![2.0; program.vars.len()];
 
-    g.bench_function("eval_all_pool", |b| {
-        b.iter(|| black_box(program.pool.eval_all(&values)))
+    g.bench("eval_all_pool", || black_box(program.pool.eval_all(&values)));
+    let seeds: Vec<_> = roots.iter().map(|&r| (r, 1.0)).collect();
+    g.bench("reverse_ad_sweep", || {
+        black_box(
+            program
+                .pool
+                .grad_multi(&seeds, &values, program.vars.len(), Default::default())
+                .unwrap(),
+        )
     });
-    g.bench_function("reverse_ad_sweep", |b| {
-        let seeds: Vec<_> = roots.iter().map(|&r| (r, 1.0)).collect();
-        b.iter(|| {
-            black_box(
-                program
-                    .pool
-                    .grad_multi(&seeds, &values, program.vars.len(), Default::default())
-                    .unwrap(),
-            )
-        })
+    g.bench("smoothing_pass", || {
+        let mut p = ExprPool::new();
+        let mut vars = VarTable::new();
+        let v = vars.fresh("x");
+        let x = p.var(v);
+        let zero = p.constf(0.0);
+        let mut acc = p.constf(0.0);
+        for i in 0..50 {
+            let ci = p.constf(i as f64);
+            let xi = p.add(x, ci);
+            let m = p.max(xi, zero);
+            acc = p.add(acc, m);
+        }
+        black_box(smooth_all(&mut p, &[acc]))
     });
-    g.bench_function("smoothing_pass", |b| {
-        b.iter(|| {
-            let mut p = ExprPool::new();
-            let mut vars = VarTable::new();
-            let v = vars.fresh("x");
-            let x = p.var(v);
-            let zero = p.constf(0.0);
-            let mut acc = p.constf(0.0);
-            for i in 0..50 {
-                let ci = p.constf(i as f64);
-                let xi = p.add(x, ci);
-                let m = p.max(xi, zero);
-                acc = p.add(acc, m);
-            }
-            black_box(smooth_all(&mut p, &[acc]))
-        })
-    });
-    g.finish();
 }
 
-fn bench_search_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("search_kernels");
-    g.sample_size(20);
+fn bench_search_kernels() {
+    let g = BenchGroup::new("search_kernels").max_iters(200);
     let p0 = lower_subgraph(&conv_subgraph());
     let sk = multi_level_tiling_sketch(&p0, &HardwareParams::default());
     let mut program = sk.program;
@@ -113,42 +96,34 @@ fn bench_search_kernels(c: &mut Criterion) {
     let model = Mlp::new(&mut rng);
     let y0 = vec![1.0; obj.n_vars()];
 
-    g.bench_function("gradient_step_one_seed", |b| {
-        b.iter(|| black_box(obj.cost_and_grad(&model, 1.0, &y0)))
-    });
-    g.bench_function("adam_200_steps_one_seed", |b| {
-        b.iter(|| {
-            let mut y = y0.clone();
-            let mut opt = AdamOpt::new(y.len(), 0.08);
-            for _ in 0..200 {
-                let (_, _, grad) = obj.cost_and_grad(&model, 1.0, &y);
-                opt.step(&mut y, &grad);
-            }
-            black_box(y)
-        })
+    g.bench("gradient_step_one_seed", || black_box(obj.cost_and_grad(&model, 1.0, &y0)));
+    g.bench("adam_200_steps_one_seed", || {
+        let mut y = y0.clone();
+        let mut opt = AdamOpt::new(y.len(), 0.08);
+        for _ in 0..200 {
+            let (_, _, grad) = obj.cost_and_grad(&model, 1.0, &y);
+            opt.step(&mut y, &grad);
+        }
+        black_box(y)
     });
     let vals = round_to_valid(&program, &vec![2.0; program.vars.len()]);
-    g.bench_function("mlp_predict", |b| {
-        let raw = fs.eval(&program, &vals);
-        let lf = felix_cost::log_transform(&raw);
-        b.iter(|| black_box(model.predict(&lf)))
+    let raw = fs.eval(&program, &vals);
+    let lf = felix_cost::log_transform(&raw);
+    g.bench("mlp_predict", || black_box(model.predict(&lf)));
+    g.bench("mlp_input_gradient", || black_box(model.input_gradient(&lf)));
+    let batch: Vec<Vec<f64>> = (0..8).map(|_| lf.clone()).collect();
+    g.bench("mlp_input_gradient_batch8", || black_box(model.input_gradient_batch(&batch)));
+    let sim = Simulator::new(DeviceConfig::a5000());
+    g.bench("simulator_measure", || black_box(sim.latency_ms(&program, &fs, &vals)));
+    let base = felix_cost::random_schedule(&program, &mut rng, 64);
+    let mut r = StdRng::seed_from_u64(1);
+    g.bench("evolution_mutation", || {
+        black_box(felix_cost::mutate_schedule(&program, &base, &mut r, 8))
     });
-    g.bench_function("mlp_input_gradient", |b| {
-        let raw = fs.eval(&program, &vals);
-        let lf = felix_cost::log_transform(&raw);
-        b.iter(|| black_box(model.input_gradient(&lf)))
-    });
-    g.bench_function("simulator_measure", |b| {
-        let sim = Simulator::new(DeviceConfig::a5000());
-        b.iter(|| black_box(sim.latency_ms(&program, &fs, &vals)))
-    });
-    g.bench_function("evolution_mutation", |b| {
-        let base = felix_cost::random_schedule(&program, &mut rng, 64);
-        let mut r = StdRng::seed_from_u64(1);
-        b.iter(|| black_box(felix_cost::mutate_schedule(&program, &base, &mut r, 8)))
-    });
-    g.finish();
 }
 
-criterion_group!(benches, bench_symbolic_pipeline, bench_expr_kernels, bench_search_kernels);
-criterion_main!(benches);
+fn main() {
+    bench_symbolic_pipeline();
+    bench_expr_kernels();
+    bench_search_kernels();
+}

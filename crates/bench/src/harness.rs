@@ -1,0 +1,91 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the bench targets cannot pull in
+//! criterion; this module provides the small subset the benches need:
+//! warmup, adaptive iteration counts targeting a fixed measuring window,
+//! and a readable per-benchmark report line.
+
+use std::time::{Duration, Instant};
+
+/// How long each benchmark is measured for after warmup.
+const TARGET_WINDOW: Duration = Duration::from_millis(250);
+
+/// A named group of benchmarks (mirrors criterion's `benchmark_group`).
+pub struct BenchGroup {
+    name: String,
+    /// Cap on measured iterations (useful for slow benchmarks).
+    pub max_iters: u64,
+}
+
+impl BenchGroup {
+    /// Starts a group, printing its header.
+    pub fn new(name: &str) -> Self {
+        println!("\n## {name}");
+        BenchGroup { name: name.to_string(), max_iters: u64::MAX }
+    }
+
+    /// Caps measured iterations (for slow benchmarks; criterion's
+    /// `sample_size` analogue).
+    pub fn max_iters(mut self, n: u64) -> Self {
+        self.max_iters = n;
+        self
+    }
+
+    /// Times `f`, printing mean wall-clock per iteration.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) -> &Self {
+        // Warmup + calibration: run until ~20 ms elapses.
+        let calib = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib.elapsed() < Duration::from_millis(20) && calib_iters < self.max_iters {
+            std::hint::black_box(f());
+            calib_iters += 1;
+        }
+        let per_iter = calib.elapsed().as_secs_f64() / calib_iters.max(1) as f64;
+        let iters = ((TARGET_WINDOW.as_secs_f64() / per_iter.max(1e-9)) as u64)
+            .clamp(1, self.max_iters);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let mean_s = start.elapsed().as_secs_f64() / iters as f64;
+        println!(
+            "{:<44} {:>14}  ({iters} iters)",
+            format!("{}/{name}", self.name),
+            format_time(mean_s)
+        );
+        self
+    }
+}
+
+fn format_time(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let g = BenchGroup::new("test-group").max_iters(50);
+        let mut calls = 0u64;
+        g.bench("counting", || calls += 1);
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn time_formatting_covers_scales() {
+        assert!(format_time(5e-9).ends_with("ns"));
+        assert!(format_time(5e-6).ends_with("µs"));
+        assert!(format_time(5e-3).ends_with("ms"));
+        assert!(format_time(5.0).ends_with('s'));
+    }
+}

@@ -40,8 +40,10 @@ pub fn render(title: &str, series: &[Series], width: usize, height: usize) -> St
             let yi = height - 1 - (yl * (height - 1) as f64).round() as usize;
             let (xi, yi) = (xi.min(width - 1), yi.min(height - 1));
             if let Some((px, py)) = prev {
-                for x in px..=xi {
-                    grid[py][x] = s.glyph;
+                if px <= xi {
+                    for cell in grid[py][px..=xi].iter_mut() {
+                        *cell = s.glyph;
+                    }
                 }
             }
             grid[yi][xi] = s.glyph;

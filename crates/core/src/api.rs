@@ -2,7 +2,8 @@
 
 use crate::gd::{FelixOptions, GradientProposer};
 use felix_ansor::{
-    network_latency, tune_network, NetworkTuneResult, SearchTask, TuneOptions,
+    network_latency, tune_network, NetworkTuneResult, Proposer, SearchTask, TuneOptions,
+    TunerStats,
 };
 use felix_cost::{generate_dataset, pretrain, Mlp, TrainConfig};
 use felix_graph::{partition, Graph, Task};
@@ -58,6 +59,9 @@ pub struct Optimizer {
     rng: StdRng,
     /// Curve of (time, latency) across all rounds run so far.
     pub history: Vec<felix_ansor::CurvePoint>,
+    /// Per-round tuner observability records, accumulated across all
+    /// `optimize_all` calls (one entry per `propose` round).
+    pub stats: Vec<TunerStats>,
 }
 
 impl Optimizer {
@@ -84,6 +88,7 @@ impl Optimizer {
             proposer: GradientProposer::new(options),
             rng: StdRng::seed_from_u64(0xF311),
             history: Vec::new(),
+            stats: Vec::new(),
         }
     }
 
@@ -120,6 +125,7 @@ impl Optimizer {
             &mut self.rng,
         );
         self.history.extend(res.curve.iter().copied());
+        self.stats.extend(self.proposer.take_stats());
         res
     }
 
@@ -318,6 +324,9 @@ mod tests {
         let sample = module.run(&mut rng);
         assert!((sample / module.latency_ms() - 1.0).abs() < 0.3);
         assert!(module.summary().contains("compiled for"));
+        // One stats record per proposer round, drained from the proposer.
+        assert_eq!(opt.stats.len(), n_tasks + 2);
+        assert!(opt.stats.iter().all(|s| s.grad_steps > 0 && s.threads >= 1));
     }
 
     #[test]

@@ -5,15 +5,40 @@
 //! is rounded back to a valid integer schedule (tile sizes round to factors
 //! in log space), validated, ranked by cost-model-predicted performance, and
 //! the top `nMeasure` go to the hardware (simulator).
+//!
+//! # Parallel, batched execution
+//!
+//! The cost model is evaluated in matrix-shaped batches: each Adam step
+//! makes one [`Mlp::input_gradient_batch`] call over all the seeds a worker
+//! owns instead of `nSeeds` scalar calls, and candidate ranking batches its
+//! predictions the same way. Independent seeds (and independent sketch
+//! objectives) run on a scoped-thread pool ([`crate::parallel`]) whose
+//! workers self-schedule from a shared queue. Every batched MLP row is
+//! bit-identical to the scalar path and all randomness is drawn from the
+//! master RNG in a fixed serial order (per-seed work uses derived `StdRng`
+//! streams), so the search result is **bit-identical at every thread
+//! count** — `threads: 1` is the proof path, `threads: 0` (one worker per
+//! core) the fast path.
 
 use crate::objective::{PipelineOptions, SketchObjective};
-use felix_ansor::{Proposer, SearchTask};
+use crate::parallel::{effective_threads, parallel_map};
+use felix_ansor::{Proposer, SearchTask, TunerStats};
 use felix_cost::{log_transform, AdamOpt, Mlp};
 use felix_sim::clock::ClockCosts;
 use felix_sim::TuningClock;
 use felix_tir::sketch::round_to_valid;
 use rand::rngs::StdRng;
-use std::collections::HashMap;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+/// Random draws per non-warm seed slot; the best-predicted draw becomes the
+/// slot's starting point (a single blind draw frequently lands in a poor
+/// basin of the multi-modal relaxed landscape).
+const SEED_INIT_DRAWS: usize = 8;
+
+/// Candidates per batched scoring chunk (one `predict_batch` call each).
+const SCORE_CHUNK: usize = 64;
 
 /// Hyperparameters of the gradient-descent search (paper §5 defaults).
 #[derive(Clone, Copy, Debug)]
@@ -26,6 +51,9 @@ pub struct FelixOptions {
     pub lambda: f64,
     /// Adam learning rate in `y = ln x` space.
     pub lr: f64,
+    /// Worker threads: `0` = one per available core, `1` = serial. The
+    /// search result is bit-identical for every setting.
+    pub threads: usize,
     /// Which rewriting stages to apply (ablation knob; all on by default).
     pub pipeline: PipelineOptions,
 }
@@ -37,9 +65,18 @@ impl Default for FelixOptions {
             n_steps: 200,
             lambda: 1.0,
             lr: 0.08,
+            threads: 0,
             pipeline: PipelineOptions::default(),
         }
     }
+}
+
+/// One descending schedule: its sketch, current y-space point, and Adam
+/// state.
+struct Seed {
+    sketch: usize,
+    y: Vec<f64>,
+    opt: AdamOpt,
 }
 
 /// The gradient-descent candidate proposer (Felix's search algorithm).
@@ -48,28 +85,105 @@ pub struct GradientProposer {
     pub options: FelixOptions,
     objectives: HashMap<String, Vec<SketchObjective>>,
     trace: Vec<f64>,
+    stats: Vec<TunerStats>,
 }
 
 impl GradientProposer {
     /// A proposer with the given options.
     pub fn new(options: FelixOptions) -> Self {
-        GradientProposer { options, objectives: HashMap::new(), trace: Vec::new() }
+        GradientProposer {
+            options,
+            objectives: HashMap::new(),
+            trace: Vec::new(),
+            stats: Vec::new(),
+        }
     }
 
+    /// Returns the cached compiled objectives for `task`, building them (in
+    /// parallel over sketches — each build is deterministic and
+    /// independent) on first sight. Reports hit/miss into `stats`.
     fn objectives_for<'a>(
         objectives: &'a mut HashMap<String, Vec<SketchObjective>>,
         task: &SearchTask,
         pipeline: PipelineOptions,
+        threads: usize,
+        stats: &mut TunerStats,
     ) -> &'a [SketchObjective] {
-        objectives.entry(task.name.clone()).or_insert_with(|| {
-            task.sketches
-                .iter()
-                .map(|sk| {
-                    SketchObjective::build_with(&sk.program, &sk.features.exprs, pipeline)
-                })
-                .collect()
-        })
+        if objectives.contains_key(&task.name) {
+            stats.cache_hits = task.sketches.len();
+        } else {
+            stats.cache_misses = task.sketches.len();
+            let built = parallel_map(task.sketches.len(), threads, |i| {
+                let sk = &task.sketches[i];
+                SketchObjective::build_with(&sk.program, &sk.features.exprs, pipeline)
+            });
+            objectives.insert(task.name.clone(), built);
+        }
+        &objectives[&task.name]
     }
+}
+
+/// Tape-evaluates and batch-predicts `cands`, in parallel chunks. Chunk
+/// results are concatenated in index order and every batch row is
+/// bit-identical to a scalar `predict`, so the scores do not depend on the
+/// thread count.
+fn score_candidates(
+    task: &SearchTask,
+    model: &Mlp,
+    threads: usize,
+    cands: &[(usize, Vec<f64>)],
+) -> Vec<f64> {
+    let n_chunks = cands.len().div_ceil(SCORE_CHUNK);
+    parallel_map(n_chunks, threads, |ci| {
+        let chunk = &cands[ci * SCORE_CHUNK..((ci + 1) * SCORE_CHUNK).min(cands.len())];
+        let mut scratch = Vec::new();
+        let feats: Vec<Vec<f64>> = chunk
+            .iter()
+            .map(|(sk, x)| {
+                let st = &task.sketches[*sk];
+                log_transform(&st.eval_features(x, &mut scratch))
+            })
+            .collect();
+        model.predict_batch(&feats)
+    })
+    .concat()
+}
+
+/// Runs the full Adam descent for one worker's seeds: per step, stage-1
+/// pool sweeps per seed, then ONE matrix-shaped MLP call over the chunk,
+/// then stage-2 reverse sweeps and Adam updates. Returns per-step predicted
+/// scores and `(sketch, y)` trajectory snapshots, both in seed order.
+#[allow(clippy::type_complexity)]
+fn descend_chunk(
+    objectives: &[SketchObjective],
+    model: &Mlp,
+    lambda: f64,
+    n_steps: usize,
+    seeds: &mut [Seed],
+) -> (Vec<Vec<f64>>, Vec<Vec<(usize, Vec<f64>)>>) {
+    let mut scores = Vec::with_capacity(n_steps);
+    let mut history = Vec::with_capacity(n_steps);
+    for _ in 0..n_steps {
+        let (node_vals, feats): (Vec<Vec<f64>>, Vec<Vec<f64>>) = seeds
+            .iter()
+            .map(|s| objectives[s.sketch].eval_feats(&s.y))
+            .unzip();
+        let mlp_out = model.input_gradient_batch(&feats);
+        let mut step_scores = Vec::with_capacity(seeds.len());
+        let mut step_hist = Vec::with_capacity(seeds.len());
+        for ((seed, vals), (score, dscore)) in
+            seeds.iter_mut().zip(node_vals).zip(&mlp_out)
+        {
+            let (_, score, grad) =
+                objectives[seed.sketch].grad_from_dscore(vals, *score, dscore, lambda);
+            seed.opt.step(&mut seed.y, &grad);
+            step_scores.push(score);
+            step_hist.push((seed.sketch, seed.y.clone()));
+        }
+        scores.push(step_scores);
+        history.push(step_hist);
+    }
+    (scores, history)
 }
 
 impl Default for GradientProposer {
@@ -94,66 +208,137 @@ impl Proposer for GradientProposer {
         rng: &mut StdRng,
     ) -> Vec<(usize, Vec<f64>)> {
         let opts = self.options;
-        let objectives =
-            Self::objectives_for(&mut self.objectives, task, opts.pipeline);
+        let threads = effective_threads(opts.threads);
+        let mut stats = TunerStats { threads, ..TunerStats::default() };
+        let objectives = Self::objectives_for(
+            &mut self.objectives,
+            task,
+            opts.pipeline,
+            threads,
+            &mut stats,
+        );
         let n_sketches = task.sketches.len();
 
-        // --- Seed initialization: random valid schedules, mapped to y-space.
-        struct Seed {
-            sketch: usize,
-            y: Vec<f64>,
-            opt: AdamOpt,
+        // --- Seed initialization -------------------------------------------
+        // Warm-start half the seeds from the best schedules measured in
+        // earlier rounds (local refinement); the remaining slots explore,
+        // each starting from the best-predicted of SEED_INIT_DRAWS random
+        // draws. Exploration slots use per-slot StdRng streams whose seeds
+        // are drawn from the master RNG serially, so slot initialization can
+        // run on the pool without perturbing any other random draw.
+        let mut elites: Vec<&(usize, Vec<f64>, f64)> = task.measured.iter().collect();
+        elites.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite latency"));
+        let n_warm = (opts.n_seeds / 2).min(elites.len());
+        let mut seeds: Vec<Seed> = Vec::with_capacity(opts.n_seeds);
+        for e in elites.iter().take(n_warm) {
+            let y = objectives[e.0].to_y_space(&e.1);
+            let nv = y.len();
+            seeds.push(Seed { sketch: e.0, y, opt: AdamOpt::new(nv, opts.lr) });
         }
-        let mut seeds: Vec<Seed> = (0..opts.n_seeds)
-            .map(|i| {
-                let sketch = i % n_sketches;
-                let x = felix_cost::random_schedule(&task.sketches[sketch].program, rng, 64);
-                let y = objectives[sketch].to_y_space(&x);
-                let nv = y.len();
-                Seed { sketch, y, opt: AdamOpt::new(nv, opts.lr) }
-            })
+        let slots: Vec<(usize, u64)> = (seeds.len()..opts.n_seeds)
+            .map(|i| (i % n_sketches, rng.gen::<u64>()))
             .collect();
+        let inits: Vec<Vec<f64>> = parallel_map(slots.len(), threads, |j| {
+            let (sketch, stream) = slots[j];
+            let mut srng = StdRng::seed_from_u64(stream);
+            let st = &task.sketches[sketch];
+            let cands: Vec<Vec<f64>> = (0..SEED_INIT_DRAWS)
+                .map(|_| felix_cost::random_schedule(&st.program, &mut srng, 64))
+                .collect();
+            let mut scratch = Vec::new();
+            let feats: Vec<Vec<f64>> = cands
+                .iter()
+                .map(|x| log_transform(&st.eval_features(x, &mut scratch)))
+                .collect();
+            let scores = model.predict_batch(&feats);
+            let best = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite score"))
+                .map_or(0, |(i, _)| i);
+            cands.into_iter().nth(best).expect("SEED_INIT_DRAWS >= 1")
+        });
+        clock.charge_batched_predictions(slots.len() * SEED_INIT_DRAWS, costs);
+        for ((sketch, _), x) in slots.iter().zip(inits) {
+            let y = objectives[*sketch].to_y_space(&x);
+            let nv = y.len();
+            seeds.push(Seed { sketch: *sketch, y, opt: AdamOpt::new(nv, opts.lr) });
+        }
 
-        // --- Adam descent, recording the whole trajectory (line 15-19).
-        let mut history: Vec<(usize, Vec<f64>)> = Vec::new();
+        // --- Adam descent, recording the whole trajectory (line 15-19) -----
+        // Seeds are split into one contiguous chunk per worker; each worker
+        // runs its chunk's descent in lockstep with one batched MLP call per
+        // step. Chunks are merged back in seed order, so the trace and
+        // trajectory are identical to a serial, fully-batched run.
+        let n_live = seeds.len();
         for _ in 0..opts.n_steps {
-            clock.charge_gradient_step(seeds.len(), costs);
-            for seed in &mut seeds {
-                let obj = &objectives[seed.sketch];
-                let (_, score, grad) = obj.cost_and_grad(model, opts.lambda, &seed.y);
-                self.trace.push(score);
-                seed.opt.step(&mut seed.y, &grad);
-                history.push((seed.sketch, seed.y.clone()));
+            clock.charge_gradient_step(n_live, costs);
+        }
+        let workers = threads.min(n_live).max(1);
+        let chunk_size = n_live.div_ceil(workers);
+        let descent_start = std::time::Instant::now();
+        let chunks: Vec<Mutex<Vec<Seed>>> = {
+            let mut chunks = Vec::with_capacity(workers);
+            let mut rest = seeds;
+            while !rest.is_empty() {
+                let tail = rest.split_off(chunk_size.min(rest.len()));
+                chunks.push(Mutex::new(rest));
+                rest = tail;
+            }
+            chunks
+        };
+        let per_chunk = parallel_map(chunks.len(), threads, |ci| {
+            let mut chunk_seeds =
+                std::mem::take(&mut *chunks[ci].lock().expect("chunk slot"));
+            descend_chunk(objectives, model, opts.lambda, opts.n_steps, &mut chunk_seeds)
+        });
+        let descent_s = descent_start.elapsed().as_secs_f64();
+        stats.grad_steps = n_live * opts.n_steps;
+        stats.steps_per_sec = stats.grad_steps as f64 / descent_s.max(1e-12);
+        let mut history: Vec<(usize, Vec<f64>)> =
+            Vec::with_capacity(n_live * opts.n_steps);
+        for step in 0..opts.n_steps {
+            for (scores, hist) in &per_chunk {
+                self.trace.extend_from_slice(&scores[step]);
+                history.extend(hist[step].iter().cloned());
             }
         }
 
-        // --- Round, validate, dedupe (line 20).
-        let mut unique: HashMap<String, (usize, Vec<f64>)> = HashMap::new();
+        // --- Round, validate, dedupe (line 20) ------------------------------
+        // A BTreeMap keeps candidate order independent of hasher state, so
+        // runs (and thread counts) are exactly reproducible.
+        stats.candidates = history.len();
+        let mut violations = 0usize;
+        let mut duplicates = 0usize;
+        let mut unique: BTreeMap<String, (usize, Vec<f64>)> = BTreeMap::new();
         for (sk, y) in history {
             let obj = &objectives[sk];
             let program = &task.sketches[sk].program;
             let x_relaxed = obj.to_x_space(&y, program.vars.len());
             let x = round_to_valid(program, &x_relaxed);
             if !program.constraints_ok(&x, 1e-9) {
+                violations += 1;
                 continue;
             }
-            if task.already_measured(sk, &x) {
-                continue;
+            if task.already_measured(sk, &x) || unique.insert(format!("{sk}:{x:?}"), (sk, x)).is_some() {
+                duplicates += 1;
             }
-            unique.entry(format!("{sk}:{x:?}")).or_insert((sk, x));
+        }
+        if stats.candidates > 0 {
+            stats.penalty_violation_rate = violations as f64 / stats.candidates as f64;
+            stats.rounding_rejection_rate = duplicates as f64 / stats.candidates as f64;
         }
 
-        // --- Rank by predicted performance on the exact features (line 21).
-        let score_of = |sk: usize, x: &[f64]| {
-            let st = &task.sketches[sk];
-            let raw = st.features.eval(&st.program, x);
-            model.predict(&log_transform(&raw))
-        };
-        let mut ranked: Vec<(f64, usize, Vec<f64>)> = unique
-            .into_values()
-            .map(|(sk, x)| (score_of(sk, &x), sk, x))
+        // --- Rank by predicted performance on the exact features (line 21),
+        // via the compiled feature tapes, in parallel batches.
+        let cands: Vec<(usize, Vec<f64>)> = unique.into_values().collect();
+        let cand_scores = score_candidates(task, model, threads, &cands);
+        clock.charge_batched_predictions(cands.len(), costs);
+        let mut ranked: Vec<(f64, usize, Vec<f64>)> = cand_scores
+            .into_iter()
+            .zip(cands)
+            .map(|(s, (sk, x))| (s, sk, x))
             .collect();
-        clock.charge_predictions(ranked.len(), costs);
         ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite score"));
 
         // --- Discretization repair: nearest rounding can lose the relaxed
@@ -161,12 +346,13 @@ impl Proposer for GradientProposer {
         // also score the single factor-move lattice neighbors of the best
         // rounded candidates and fold them into the ranking (§3.3 rounds to
         // the nearest factor; the neighbors are the adjacent discretizations
-        // of the same relaxed point).
-        let mut neighbors: Vec<(f64, usize, Vec<f64>)> = Vec::new();
+        // of the same relaxed point). Mutations draw from the master RNG in
+        // a fixed serial order; only their scoring fans out.
         let mut seen: std::collections::HashSet<String> = ranked
             .iter()
             .map(|(_, sk, x)| format!("{sk}:{x:?}"))
             .collect();
+        let mut neighbors: Vec<(usize, Vec<f64>)> = Vec::new();
         for (_, sk, x) in ranked.iter().take(8).cloned().collect::<Vec<_>>() {
             let program = &task.sketches[sk].program;
             for _ in 0..24 {
@@ -176,12 +362,19 @@ impl Proposer for GradientProposer {
                     continue;
                 }
                 seen.insert(key);
-                neighbors.push((score_of(sk, &nb), sk, nb));
+                neighbors.push((sk, nb));
             }
         }
-        clock.charge_predictions(neighbors.len(), costs);
-        ranked.extend(neighbors);
+        let nb_scores = score_candidates(task, model, threads, &neighbors);
+        clock.charge_batched_predictions(neighbors.len(), costs);
+        ranked.extend(
+            nb_scores
+                .into_iter()
+                .zip(neighbors)
+                .map(|(s, (sk, x))| (s, sk, x)),
+        );
         ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite score"));
+
         // Greedy diverse selection: the trajectory of one seed yields many
         // near-identical rounded schedules; measuring 16 of those wastes the
         // hardware budget. Walk the ranking and skip candidates too close
@@ -210,11 +403,16 @@ impl Proposer for GradientProposer {
                 break;
             }
         }
+        self.stats.push(stats);
         out
     }
 
     fn take_prediction_trace(&mut self) -> Vec<f64> {
         std::mem::take(&mut self.trace)
+    }
+
+    fn take_stats(&mut self) -> Vec<TunerStats> {
+        std::mem::take(&mut self.stats)
     }
 }
 
@@ -225,7 +423,6 @@ mod tests {
     use felix_cost::{generate_dataset, pretrain, TrainConfig};
     use felix_graph::{Op, Subgraph, Task};
     use felix_sim::{DeviceConfig, Simulator};
-    use rand::SeedableRng;
 
     fn setup() -> (SearchTask, Mlp, Simulator) {
         let sim = Simulator::new(DeviceConfig::a5000());
@@ -293,6 +490,66 @@ mod tests {
             late > early + 0.1,
             "gradient descent should raise predicted score: {early} -> {late}"
         );
+    }
+
+    #[test]
+    fn stats_record_descent_and_cache_behaviour() {
+        let (task, model, _sim) = setup();
+        let mut prop = GradientProposer::new(quick_opts());
+        let mut clock = TuningClock::new();
+        let costs = ClockCosts::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        prop.propose(&task, &model, 8, &mut clock, &costs, &mut rng);
+        prop.propose(&task, &model, 8, &mut clock, &costs, &mut rng);
+        let stats = prop.take_stats();
+        assert_eq!(stats.len(), 2);
+        // First round builds every sketch objective, second reuses them.
+        assert_eq!(stats[0].cache_misses, task.sketches.len());
+        assert_eq!(stats[0].cache_hits, 0);
+        assert_eq!(stats[1].cache_hits, task.sketches.len());
+        assert_eq!(stats[1].cache_misses, 0);
+        for s in &stats {
+            assert_eq!(s.grad_steps, 4 * 40);
+            assert!(s.steps_per_sec > 0.0);
+            assert!(s.candidates > 0);
+            assert!(s.threads >= 1);
+            assert!((0.0..=1.0).contains(&s.penalty_violation_rate));
+            assert!((0.0..=1.0).contains(&s.rounding_rejection_rate));
+            assert!(!s.summary().is_empty());
+        }
+        assert!(prop.take_stats().is_empty(), "stats drain");
+    }
+
+    #[test]
+    fn parallel_search_is_bit_identical_to_serial() {
+        // The determinism guarantee: with the same RNG seed, the proposer
+        // returns byte-for-byte the same candidates, prediction trace, and
+        // simulated clock at every thread count. Batched MLP rows are
+        // bit-identical to scalar calls and all master-RNG draws happen in
+        // a fixed serial order, so this holds exactly, not approximately.
+        let (task, model, _sim) = setup();
+        let costs = ClockCosts::default();
+        let mut runs = Vec::new();
+        for threads in [1, 2, 4] {
+            let mut prop = GradientProposer::new(FelixOptions {
+                threads,
+                ..quick_opts()
+            });
+            let mut clock = TuningClock::new();
+            let mut rng = StdRng::seed_from_u64(5);
+            let cands = prop.propose(&task, &model, 8, &mut clock, &costs, &mut rng);
+            let trace = prop.take_prediction_trace();
+            runs.push((cands, trace, clock.now_s()));
+        }
+        let (ref_cands, ref_trace, ref_clock) = &runs[0];
+        for (i, (cands, trace, clock_s)) in runs.iter().enumerate().skip(1) {
+            assert_eq!(cands, ref_cands, "candidates differ at run {i}");
+            assert_eq!(trace.len(), ref_trace.len());
+            for (a, b) in trace.iter().zip(ref_trace) {
+                assert_eq!(a.to_bits(), b.to_bits(), "trace not bit-identical");
+            }
+            assert_eq!(clock_s.to_bits(), ref_clock.to_bits(), "clock differs");
+        }
     }
 
     #[test]

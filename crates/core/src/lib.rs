@@ -40,6 +40,7 @@
 pub mod api;
 pub mod gd;
 pub mod objective;
+pub mod parallel;
 
 pub use api::{
     extract_subgraphs, pretrained_cost_model, CompiledModule, ModelQuality, Optimizer,

@@ -182,16 +182,13 @@ impl SketchObjective {
         vals
     }
 
-    /// Evaluates `O(y)` and `∂O/∂y` (Eqn. 4): `O = −C(feat(y)) +
-    /// λ Σ max(g_r(y), 0)²`.
-    ///
-    /// Returns `(objective, predicted_score, gradient)`.
-    pub fn cost_and_grad(
-        &self,
-        model: &Mlp,
-        lambda: f64,
-        y: &[f64],
-    ) -> (f64, f64, Vec<f64>) {
+    /// Stage 1 of [`SketchObjective::cost_and_grad`]: one forward sweep of
+    /// the expression pool. Returns every node's value plus the extracted
+    /// log-feature vector — the MLP input. Split out so the tuner can batch
+    /// the MLP call across seeds: evaluate stage 1 for all seeds, run one
+    /// matrix-shaped [`Mlp::input_gradient_batch`], then finish each seed
+    /// with [`SketchObjective::grad_from_dscore`].
+    pub fn eval_feats(&self, y: &[f64]) -> (Vec<f64>, Vec<f64>) {
         let vals = self.full_values(y);
         let node_vals = self.program.pool.eval_all(&vals);
         let feats: Vec<f64> = self
@@ -199,13 +196,26 @@ impl SketchObjective {
             .iter()
             .map(|e| node_vals[e.index()])
             .collect();
-        let (score, dscore) = model.input_gradient(&feats);
+        (node_vals, feats)
+    }
+
+    /// Stage 2 of [`SketchObjective::cost_and_grad`]: given the pool values
+    /// from [`SketchObjective::eval_feats`] and the MLP's `(score, ∂C/∂feat)`
+    /// for this point, applies the penalty terms and runs the reverse-mode
+    /// sweep. Returns `(objective, predicted_score, gradient)`.
+    pub fn grad_from_dscore(
+        &self,
+        node_vals: Vec<f64>,
+        score: f64,
+        dscore: &[f64],
+        lambda: f64,
+    ) -> (f64, f64, Vec<f64>) {
         // Seeds: features get −∂C/∂feat; penalties get λ·2·max(g,0)
         // (the analytic derivative of max(g,0)², which is differentiable).
         let mut seeds: Vec<(ExprId, f64)> = self
             .log_feat_roots
             .iter()
-            .zip(&dscore)
+            .zip(dscore)
             .map(|(&e, &d)| (e, -d))
             .collect();
         let mut penalty_val = 0.0;
@@ -229,6 +239,21 @@ impl SketchObjective {
         let grad: Vec<f64> = self.y_vars.iter().map(|&v| grads.var(v)).collect();
         let objective = -score + penalty_val;
         (objective, score, grad)
+    }
+
+    /// Evaluates `O(y)` and `∂O/∂y` (Eqn. 4): `O = −C(feat(y)) +
+    /// λ Σ max(g_r(y), 0)²`.
+    ///
+    /// Returns `(objective, predicted_score, gradient)`.
+    pub fn cost_and_grad(
+        &self,
+        model: &Mlp,
+        lambda: f64,
+        y: &[f64],
+    ) -> (f64, f64, Vec<f64>) {
+        let (node_vals, feats) = self.eval_feats(y);
+        let (score, dscore) = model.input_gradient(&feats);
+        self.grad_from_dscore(node_vals, score, &dscore, lambda)
     }
 
     /// Evaluates only the objective value (for testing against numeric

@@ -62,7 +62,7 @@ pub fn workload_pool(n: usize, rng: &mut impl Rng) -> Vec<Subgraph> {
                 let c = chans[rng.gen_range(0..chans.len())];
                 let k = chans[rng.gen_range(0..chans.len())];
                 let h = hw[rng.gen_range(0..hw.len())];
-                let r = [1i64, 3, 5][rng.gen_range(0..3)];
+                let r = [1i64, 3, 5][rng.gen_range(0..3usize)];
                 let op = Op::Conv2d { n: 1, c, k, h, r, stride: 1, pad: r / 2, groups: 1 };
                 let shape = op.out_shape();
                 Subgraph {
@@ -70,15 +70,15 @@ pub fn workload_pool(n: usize, rng: &mut impl Rng) -> Vec<Subgraph> {
                 }
             }
             1 => {
-                let m = [1i64, 16, 64, 128, 256][rng.gen_range(0..5)];
+                let m = [1i64, 16, 64, 128, 256][rng.gen_range(0..5usize)];
                 let k = dims[rng.gen_range(0..dims.len())];
                 let n2 = dims[rng.gen_range(0..dims.len())];
                 Subgraph { ops: vec![Op::Dense { m, k, n: n2 }] }
             }
             2 => {
-                let b = [8i64, 12, 16, 32][rng.gen_range(0..4)];
-                let m = [50i64, 64, 100, 128][rng.gen_range(0..4)];
-                let k = [64i64, 100, 128][rng.gen_range(0..3)];
+                let b = [8i64, 12, 16, 32][rng.gen_range(0..4usize)];
+                let m = [50i64, 64, 100, 128][rng.gen_range(0..4usize)];
+                let k = [64i64, 100, 128][rng.gen_range(0..3usize)];
                 Subgraph { ops: vec![Op::BatchMatmul { b, m, k, n: m }] }
             }
             3 => {
@@ -100,15 +100,15 @@ pub fn workload_pool(n: usize, rng: &mut impl Rng) -> Vec<Subgraph> {
             4 => {
                 let c = chans[rng.gen_range(0..chans.len())];
                 let k = chans[rng.gen_range(0..chans.len())];
-                let h = [8i64, 14, 28][rng.gen_range(0..3)];
-                let d = [4i64, 8, 16][rng.gen_range(0..3)];
+                let h = [8i64, 14, 28][rng.gen_range(0..3usize)];
+                let d = [4i64, 8, 16][rng.gen_range(0..3usize)];
                 Subgraph {
                     ops: vec![Op::Conv3d { n: 1, c, k, d, h, r: 3, stride: 1, pad: 1 }],
                 }
             }
             5 => {
-                let rows = [64i64, 600, 768, 3200][rng.gen_range(0..4)];
-                let cols = [50i64, 100, 128, 1024][rng.gen_range(0..4)];
+                let rows = [64i64, 600, 768, 3200][rng.gen_range(0..4usize)];
+                let cols = [50i64, 100, 128, 1024][rng.gen_range(0..4usize)];
                 Subgraph { ops: vec![Op::Softmax { rows, cols }] }
             }
             6 => {
@@ -121,7 +121,7 @@ pub fn workload_pool(n: usize, rng: &mut impl Rng) -> Vec<Subgraph> {
             _ => {
                 let c = chans[rng.gen_range(0..chans.len())];
                 let k = chans[rng.gen_range(0..chans.len())];
-                let h = [4i64, 8, 16][rng.gen_range(0..3)];
+                let h = [4i64, 8, 16][rng.gen_range(0..3usize)];
                 Subgraph {
                     ops: vec![Op::ConvTranspose2d { n: 1, c, k, h, r: 4, stride: 2, pad: 1 }],
                 }

@@ -137,9 +137,128 @@ impl Mlp {
         self.forward_cached(&x).1
     }
 
-    /// Batch prediction.
+    /// Batched forward pass caching activations, layer-major so every
+    /// weight row is traversed once per layer for the whole batch.
+    ///
+    /// Each sample's accumulation runs in exactly the order of
+    /// [`Mlp::forward_cached`], so every row of the result is bit-identical
+    /// to the scalar path — batching buys weight-row locality, never a
+    /// different answer. The tuner's serial/parallel equivalence guarantee
+    /// rests on this.
+    ///
+    /// Returns `acts[layer][sample]` activations and the per-sample scores.
+    fn forward_batch_cached(&self, xs: &[Vec<f32>]) -> (Vec<Vec<Vec<f32>>>, Vec<f64>) {
+        let n = xs.len();
+        let n_layers = self.w.len();
+        let mut acts: Vec<Vec<Vec<f32>>> = vec![xs.to_vec()];
+        // Feature-major ("transposed") working set: cur[i][s]. The hot loop
+        // then runs across samples — independent accumulator chains whose
+        // per-sample addition order is exactly the scalar path's, so SIMD
+        // lanes never reassociate any sample's sum.
+        let in_dim0 = xs.first().map_or(0, Vec::len);
+        let mut cur: Vec<Vec<f32>> = (0..in_dim0)
+            .map(|i| xs.iter().map(|x| x[i]).collect())
+            .collect();
+        for (li, (w, b)) in self.w.iter().zip(&self.b).enumerate() {
+            let out_dim = b.len();
+            let in_dim = cur.len();
+            let mut next: Vec<Vec<f32>> = Vec::with_capacity(out_dim);
+            for o in 0..out_dim {
+                let row = &w[o * in_dim..(o + 1) * in_dim];
+                let mut accs = vec![b[o]; n];
+                for (r, col) in row.iter().zip(&cur) {
+                    for (a, x) in accs.iter_mut().zip(col) {
+                        *a += r * x;
+                    }
+                }
+                if li + 1 < n_layers {
+                    for a in &mut accs {
+                        *a = a.max(0.0);
+                    }
+                }
+                next.push(accs);
+            }
+            // The backward pass wants sample-major activations.
+            acts.push((0..n).map(|s| next.iter().map(|col| col[s]).collect()).collect());
+            cur = next;
+        }
+        let scores = acts
+            .last()
+            .expect("output")
+            .iter()
+            .map(|o| o[0] as f64)
+            .collect();
+        (acts, scores)
+    }
+
+    /// Batch prediction via one weight traversal per layer; row `i` is
+    /// bit-identical to `predict(&logfeats[i])`.
     pub fn predict_batch(&self, logfeats: &[Vec<f64>]) -> Vec<f64> {
-        logfeats.iter().map(|x| self.predict(x)).collect()
+        let xs: Vec<Vec<f32>> = logfeats.iter().map(|x| self.normalize(x)).collect();
+        self.forward_batch_cached(&xs).1
+    }
+
+    /// Batched [`Mlp::input_gradient`]: scores and input gradients for a
+    /// whole batch with one weight traversal per layer in each direction.
+    /// Row `i` is bit-identical to `input_gradient(&logfeats[i])`.
+    pub fn input_gradient_batch(&self, logfeats: &[Vec<f64>]) -> Vec<(f64, Vec<f64>)> {
+        let n = logfeats.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let xs: Vec<Vec<f32>> = logfeats.iter().map(|x| self.normalize(x)).collect();
+        let (acts, scores) = self.forward_batch_cached(&xs);
+        let n_layers = self.w.len();
+        let mut grads: Vec<Vec<f32>> = vec![vec![1.0f32]; n];
+        for li in (0..n_layers).rev() {
+            let inp = &acts[li];
+            let out = &acts[li + 1];
+            let in_dim = inp.first().map_or(0, Vec::len);
+            let out_dim = out.first().map_or(0, Vec::len);
+            let w = &self.w[li];
+            // Output-major ("transposed") gated gradients: gated_t[o][s].
+            let gated_t: Vec<Vec<f32>> = (0..out_dim)
+                .map(|o| {
+                    (0..n)
+                        .map(|s| {
+                            if li + 1 == n_layers || out[s][o] > 0.0 {
+                                grads[s][o]
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            // gin_t[i][s] += gated_t[o][s] · w[o][i] with o outermost, so each
+            // sample's accumulation order matches the scalar backward exactly.
+            // A zero-gated contribution adds ±0.0, which cannot flip any
+            // accumulator bit (accumulators start at +0.0 and finite additions
+            // never yield -0.0), so the ReLU skip is unnecessary and the inner
+            // loop stays a pure SIMD-friendly sweep across samples.
+            let mut gin_t = vec![vec![0.0f32; n]; in_dim];
+            for (o, gcol) in gated_t.iter().enumerate() {
+                let row = &w[o * in_dim..(o + 1) * in_dim];
+                for (r, gi_col) in row.iter().zip(gin_t.iter_mut()) {
+                    for (gi, g) in gi_col.iter_mut().zip(gcol) {
+                        *gi += g * r;
+                    }
+                }
+            }
+            grads = (0..n).map(|s| gin_t.iter().map(|col| col[s]).collect()).collect();
+        }
+        scores
+            .into_iter()
+            .zip(grads)
+            .map(|(score, grad)| {
+                let g = grad
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &v)| (v / self.input_std[k]) as f64)
+                    .collect();
+                (score, g)
+            })
+            .collect()
     }
 
     /// Predicted score and its gradient with respect to the (log) features.
@@ -556,6 +675,48 @@ mod tests {
             final_loss < first_loss * 0.2,
             "loss {first_loss} -> {final_loss}"
         );
+    }
+
+    #[test]
+    fn batched_paths_are_bit_identical_to_scalar() {
+        // The tuner's serial/parallel determinism guarantee requires every
+        // batch row to match the scalar path exactly, not approximately.
+        let mut rng = StdRng::seed_from_u64(4);
+        let mlp = Mlp::new(&mut rng);
+        let batch: Vec<Vec<f64>> = (0..17)
+            .map(|s| {
+                (0..FEATURE_COUNT)
+                    .map(|i| ((s * 31 + i) as f64 * 0.17).sin() * 3.0)
+                    .collect()
+            })
+            .collect();
+        let scores = mlp.predict_batch(&batch);
+        let grads = mlp.input_gradient_batch(&batch);
+        assert_eq!(scores.len(), batch.len());
+        assert_eq!(grads.len(), batch.len());
+        for (i, x) in batch.iter().enumerate() {
+            let s = mlp.predict(x);
+            assert_eq!(scores[i].to_bits(), s.to_bits(), "row {i} score");
+            let (gs, gg) = mlp.input_gradient(x);
+            assert_eq!(grads[i].0.to_bits(), gs.to_bits(), "row {i} grad score");
+            assert_eq!(grads[i].1.len(), gg.len());
+            for (k, (a, b)) in grads[i].1.iter().zip(&gg).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i} grad[{k}]");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_paths_handle_empty_and_singleton() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mlp = Mlp::new(&mut rng);
+        assert!(mlp.predict_batch(&[]).is_empty());
+        assert!(mlp.input_gradient_batch(&[]).is_empty());
+        let x: Vec<f64> = (0..FEATURE_COUNT).map(|i| (i as f64 * 0.3).cos()).collect();
+        let one = mlp.input_gradient_batch(std::slice::from_ref(&x));
+        let (s, g) = mlp.input_gradient(&x);
+        assert_eq!(one[0].0.to_bits(), s.to_bits());
+        assert_eq!(one[0].1, g);
     }
 
     #[test]

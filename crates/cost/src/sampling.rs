@@ -23,7 +23,7 @@ pub fn random_schedule(p: &Program, rng: &mut impl Rng, max_tries: usize) -> Vec
         if violations == 0 {
             return vals;
         }
-        if best.as_ref().map_or(true, |(v, _)| violations < *v) {
+        if best.as_ref().is_none_or(|(v, _)| violations < *v) {
             best = Some((violations, vals));
         }
     }
@@ -67,7 +67,7 @@ pub fn mutate_schedule(
         let mut n = n;
         let mut d = 2u64;
         while d * d <= n {
-            while n % d == 0 {
+            while n.is_multiple_of(d) {
                 out.push(d);
                 n /= d;
             }

@@ -50,6 +50,13 @@ pub fn pretrain(mlp: &mut Mlp, samples: &[Sample], cfg: &TrainConfig) -> Vec<f64
 /// Online fine-tuning on newly measured schedules (Algorithm 1 line 24):
 /// a few epochs at a reduced learning rate, keeping the existing
 /// normalization.
+///
+/// Uses the pairwise ranking loss, not MSE: round buffers hold few samples
+/// from one task whose scores span a narrow band, and MSE mostly corrects
+/// the task-level offset — dragging every weight toward the band's mean and
+/// destroying the within-task ordering the search actually consumes. The
+/// rank loss is offset-invariant, so the update can only spend gradient on
+/// ordering.
 pub fn fine_tune(mlp: &mut Mlp, samples: &[Sample], epochs: usize, lr: f32) -> f64 {
     if samples.is_empty() {
         return 0.0;
@@ -59,7 +66,7 @@ pub fn fine_tune(mlp: &mut Mlp, samples: &[Sample], epochs: usize, lr: f32) -> f
         batch_size: samples.len().min(64),
         lr,
         seed: 1,
-        loss: LossKind::Mse,
+        loss: LossKind::PairwiseRank,
     };
     let mut adam = AdamState::for_model(mlp);
     let losses = run_epochs(mlp, samples, &cfg, &mut adam);
@@ -186,18 +193,20 @@ mod tests {
     }
 
     #[test]
-    fn fine_tune_improves_local_fit() {
+    fn fine_tune_improves_local_ordering() {
+        // Fine-tuning optimizes the pairwise rank loss (ordering is all the
+        // search consumes), so the invariant is that rank correlation on the
+        // measured subset improves — absolute MSE may drift.
         let ds = generate_dataset(&DeviceConfig::a5000(), 6, 16, 13);
         let (train, _) = ds.split(0);
         let mut rng = StdRng::seed_from_u64(6);
         let mut mlp = Mlp::new(&mut rng);
         pretrain(&mut mlp, &train, &TrainConfig { epochs: 8, batch_size: 64, lr: 1e-3, seed: 3, ..Default::default() });
-        // Fine-tune on a small "measured" subset and check local MSE drops.
         let subset: Vec<Sample> = train[..16].to_vec();
-        let before = evaluate_mse(&mlp, &subset);
+        let before = rank_correlation(&mlp, &subset);
         fine_tune(&mut mlp, &subset, 12, 3e-4);
-        let after = evaluate_mse(&mlp, &subset);
-        assert!(after < before, "fine-tune {before} -> {after}");
+        let after = rank_correlation(&mlp, &subset);
+        assert!(after > before, "fine-tune rank corr {before} -> {after}");
     }
 
     #[test]

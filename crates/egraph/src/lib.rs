@@ -282,10 +282,10 @@ impl<L: Language> EGraph<L> {
             let class = self.find_mut(class);
             let cls = self.classes.get_mut(&class).expect("class after repair");
             cls.parents
-                .extend(new_parents.into_iter().map(|(n, i)| (n, i)));
+                .extend(new_parents);
             // Deduplicate and canonicalize the nodes of the class.
             let mut nodes = std::mem::take(&mut cls.nodes);
-            let canon: Vec<L> = nodes.drain(..).collect();
+            let canon: Vec<L> = std::mem::take(&mut nodes);
             let mut nodes: Vec<L> =
                 canon.into_iter().map(|n| self.canonicalize(n)).collect();
             nodes.sort();

@@ -88,7 +88,7 @@ impl<L: Language> Pattern<L> {
     ///
     /// Returns `(matched_class, substitution)` pairs. The e-graph must be
     /// clean (call [`EGraph::rebuild`] after unions).
-    pub fn search<'a>(&self, egraph: &'a EGraph<L>) -> Vec<(Id, Subst)> {
+    pub fn search(&self, egraph: &EGraph<L>) -> Vec<(Id, Subst)> {
         let mut out = Vec::new();
         for class in egraph.classes() {
             let id = egraph.find(class.id);

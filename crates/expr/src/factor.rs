@@ -16,7 +16,7 @@ pub fn factors(n: u64) -> Vec<u64> {
     let mut large = Vec::new();
     let mut d = 1u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             small.push(d);
             if d != n / d {
                 large.push(n / d);

@@ -284,8 +284,8 @@ impl ExprPool {
     pub fn add(&mut self, a: ExprId, b: ExprId) -> ExprId {
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(y)) => self.constf(x + y),
-            (Some(x), None) if x == 0.0 => b,
-            (None, Some(y)) if y == 0.0 => a,
+            (Some(0.0), None) => b,
+            (None, Some(0.0)) => a,
             _ => self.intern(ENode::Bin(BinOp::Add, a, b)),
         }
     }
@@ -297,7 +297,7 @@ impl ExprPool {
         }
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(y)) => self.constf(x - y),
-            (None, Some(y)) if y == 0.0 => a,
+            (None, Some(0.0)) => a,
             _ => self.intern(ENode::Bin(BinOp::Sub, a, b)),
         }
     }
@@ -306,10 +306,10 @@ impl ExprPool {
     pub fn mul(&mut self, a: ExprId, b: ExprId) -> ExprId {
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(y)) => self.constf(x * y),
-            (Some(x), None) if x == 1.0 => b,
-            (Some(x), None) if x == 0.0 => self.constf(0.0),
-            (None, Some(y)) if y == 1.0 => a,
-            (None, Some(y)) if y == 0.0 => self.constf(0.0),
+            (Some(1.0), None) => b,
+            (Some(0.0), None) => self.constf(0.0),
+            (None, Some(1.0)) => a,
+            (None, Some(0.0)) => self.constf(0.0),
             _ => self.intern(ENode::Bin(BinOp::Mul, a, b)),
         }
     }
@@ -321,8 +321,8 @@ impl ExprPool {
         }
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(y)) => self.constf(x / y),
-            (None, Some(y)) if y == 1.0 => a,
-            (Some(x), None) if x == 0.0 => self.constf(0.0),
+            (None, Some(1.0)) => a,
+            (Some(0.0), None) => self.constf(0.0),
             _ => self.intern(ENode::Bin(BinOp::Div, a, b)),
         }
     }
@@ -331,8 +331,8 @@ impl ExprPool {
     pub fn pow(&mut self, a: ExprId, b: ExprId) -> ExprId {
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(y)) => self.constf(x.powf(y)),
-            (None, Some(y)) if y == 1.0 => a,
-            (None, Some(y)) if y == 0.0 => self.constf(1.0),
+            (None, Some(1.0)) => a,
+            (None, Some(0.0)) => self.constf(1.0),
             _ => self.intern(ENode::Bin(BinOp::Pow, a, b)),
         }
     }

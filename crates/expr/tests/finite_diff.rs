@@ -1,0 +1,198 @@
+//! Finite-difference property tests for the reverse-mode sweep in
+//! `autodiff.rs`: on seeded random expression trees, the analytic gradient
+//! must match central differences. Random cases come from fixed `StdRng`
+//! streams (no external property-testing crate), so every run checks the
+//! identical case set.
+
+use felix_expr::autodiff::GradOptions;
+use felix_expr::{ExprId, ExprPool, VarTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_VARS: usize = 3;
+
+/// Builds a random smooth expression tree over `N_VARS` variables, keeping a
+/// worklist of subtrees so the tree gets genuinely bushy (shared subtrees
+/// make it a DAG — exactly what the pool-order reverse sweep must handle).
+fn random_smooth_tree(p: &mut ExprPool, rng: &mut StdRng, n_ops: usize) -> ExprId {
+    let mut vars = VarTable::new();
+    let mut nodes: Vec<ExprId> = (0..N_VARS)
+        .map(|i| {
+            let v = vars.fresh(format!("v{i}"));
+            p.var(v)
+        })
+        .collect();
+    for _ in 0..n_ops {
+        let a = nodes[rng.gen_range(0..nodes.len())];
+        let b = nodes[rng.gen_range(0..nodes.len())];
+        let node = match rng.gen_range(0u8..9) {
+            0 => p.add(a, b),
+            1 => p.sub(a, b),
+            2 => p.mul(a, b),
+            3 => {
+                // Keep denominators away from zero: divide by 1.5 + b².
+                let c = p.constf(1.5);
+                let sq = p.mul(b, b);
+                let denom = p.add(c, sq);
+                p.div(a, denom)
+            }
+            4 => {
+                // log of a strictly positive argument: log(1.1 + a²).
+                let c = p.constf(1.1);
+                let sq = p.mul(a, a);
+                let arg = p.add(c, sq);
+                p.log(arg)
+            }
+            5 => {
+                // exp of a damped argument so values stay in range.
+                let s = p.constf(0.05);
+                let t = p.mul(a, s);
+                p.exp(t)
+            }
+            6 => {
+                let c = p.constf(2.0);
+                let sq = p.mul(a, a);
+                let arg = p.add(c, sq);
+                p.sqrt(arg)
+            }
+            7 => p.neg(a),
+            _ => {
+                // a^c with positive base: (1.2 + a²)^1.7.
+                let c = p.constf(1.2);
+                let sq = p.mul(a, a);
+                let base = p.add(c, sq);
+                let e = p.constf(1.7);
+                p.pow(base, e)
+            }
+        };
+        nodes.push(node);
+    }
+    *nodes.last().expect("non-empty")
+}
+
+fn assert_grad_close(ad: f64, fd: f64, ctx: &str) {
+    let tol = 1e-4 * (1.0 + fd.abs());
+    assert!(
+        (ad - fd).abs() <= tol,
+        "{ctx}: analytic {ad} vs central-difference {fd}"
+    );
+}
+
+#[test]
+fn analytic_gradient_matches_central_differences_on_random_trees() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0001);
+    let mut checked = 0usize;
+    for case in 0..256 {
+        let mut p = ExprPool::new();
+        let n_ops = rng.gen_range(2usize..24);
+        let root = random_smooth_tree(&mut p, &mut rng, n_ops);
+        let at: Vec<f64> = (0..N_VARS).map(|_| rng.gen_range(-3.0f64..3.0)).collect();
+        let val = p.eval(root, &at);
+        if !val.is_finite() || val.abs() > 1e7 {
+            continue; // deep exp/pow chains can overflow; skip those draws
+        }
+        let g = p
+            .grad(root, &at, N_VARS, GradOptions::default())
+            .expect("smooth tree must differentiate without subgradients");
+        let fd = p.grad_numeric(root, &at, 1e-5);
+        for (i, &d) in fd.iter().enumerate() {
+            if d.abs() > 1e5 {
+                continue; // FD itself is unreliable at steep points
+            }
+            assert_grad_close(g.wrt_var[i], d, &format!("case {case} var {i}"));
+            checked += 1;
+        }
+    }
+    assert!(checked > 600, "only {checked} comparisons ran");
+}
+
+#[test]
+fn weighted_multi_output_gradient_matches_sum_of_parts() {
+    // grad_multi of seeded outputs must equal the FD gradient of the
+    // weighted sum — the contraction Felix uses to push ∂C/∂feature_k
+    // through the feature formulas in one sweep.
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0002);
+    for case in 0..64 {
+        let mut p = ExprPool::new();
+        let ops_a = rng.gen_range(2usize..12);
+        let ops_b = rng.gen_range(2usize..12);
+        let out_a = random_smooth_tree(&mut p, &mut rng, ops_a);
+        let out_b = random_smooth_tree(&mut p, &mut rng, ops_b);
+        let (sa, sb) = (rng.gen_range(-2.0f64..2.0), rng.gen_range(-2.0f64..2.0));
+        let at: Vec<f64> = (0..N_VARS).map(|_| rng.gen_range(-2.0f64..2.0)).collect();
+        let combined = {
+            let ca = p.constf(sa);
+            let cb = p.constf(sb);
+            let ta = p.mul(ca, out_a);
+            let tb = p.mul(cb, out_b);
+            p.add(ta, tb)
+        };
+        if !p.eval(combined, &at).is_finite() {
+            continue;
+        }
+        let g = p
+            .grad_multi(&[(out_a, sa), (out_b, sb)], &at, N_VARS, GradOptions::default())
+            .expect("smooth");
+        let fd = p.grad_numeric(combined, &at, 1e-5);
+        for (i, &d) in fd.iter().enumerate() {
+            if d.abs() > 1e5 {
+                continue;
+            }
+            assert_grad_close(g.wrt_var[i], d, &format!("case {case} var {i}"));
+        }
+    }
+}
+
+#[test]
+fn subgradients_match_central_differences_away_from_breakpoints() {
+    // min/max/abs/select are piecewise-smooth; where the active branch is
+    // locally stable (arguments well separated), the subgradient equals the
+    // true derivative, so FD must agree there.
+    let mut rng = StdRng::seed_from_u64(0xD1FF_0003);
+    let opts = GradOptions { subgradient: true };
+    for case in 0..128 {
+        let mut vars = VarTable::new();
+        let vx = vars.fresh("x");
+        let vy = vars.fresh("y");
+        let mut p = ExprPool::new();
+        let x = p.var(vx);
+        let y = p.var(vy);
+        // Draw points separated from every breakpoint of the tree below:
+        // |x - y| (min/max), x = 0 (abs), x < 1 (select).
+        let (a, b) = loop {
+            let a = rng.gen_range(-4.0f64..4.0);
+            let b = rng.gen_range(-4.0f64..4.0);
+            if (a - b).abs() > 0.1 && a.abs() > 0.1 && (a - 1.0).abs() > 0.1 {
+                break (a, b);
+            }
+        };
+        let root = {
+            let m = p.max(x, y);
+            let n = p.min(x, y);
+            let ab = p.abs(x);
+            let one = p.constf(1.0);
+            let cond = p.cmp(felix_expr::CmpOp::Lt, x, one);
+            let sel = p.select(cond, m, n);
+            let t = p.mul(sel, ab);
+            p.add(t, n)
+        };
+        let at = [a, b];
+        let g = p.grad(root, &at, 2, opts).expect("subgradients enabled");
+        let fd = p.grad_numeric(root, &at, 1e-6);
+        for (i, &d) in fd.iter().enumerate() {
+            assert_grad_close(g.wrt_var[i], d, &format!("case {case} var {i}"));
+        }
+    }
+}
+
+#[test]
+fn non_smooth_operators_error_without_subgradients() {
+    let mut vars = VarTable::new();
+    let vx = vars.fresh("x");
+    let mut p = ExprPool::new();
+    let x = p.var(vx);
+    let c = p.constf(2.0);
+    let m = p.max(x, c);
+    assert!(p.grad(m, &[1.0], 1, GradOptions::default()).is_err());
+    assert!(p.grad(m, &[1.0], 1, GradOptions { subgradient: true }).is_ok());
+}

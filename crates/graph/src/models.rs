@@ -167,7 +167,7 @@ pub fn r3d18(batch: i64) -> Graph {
     }
     // Global average pool over (d, h, w) then classifier, modelled as a
     // global pool over the flattened spatial volume.
-    let gap = g.push(Op::GlobalAvgPool { n, c: 512, h: (d * h * h as i64).max(1).min(h * h) }, vec![prev]);
+    let gap = g.push(Op::GlobalAvgPool { n, c: 512, h: (d * h * h).max(1).min(h * h) }, vec![prev]);
     let fc = g.push(Op::Dense { m: n, k: 512, n: 400 }, vec![gap]);
     ew(&mut g, EwKind::BiasAdd, vec![n, 400], vec![fc]);
     g

@@ -86,7 +86,7 @@ fn dedup_weights_account_for_every_anchor() {
                 .iter()
                 .filter(|n| {
                     n.op.is_anchor()
-                        || n.inputs.first().map_or(true, |p| consumers[p.0 as usize] > 1)
+                        || n.inputs.first().is_none_or(|p| consumers[p.0 as usize] > 1)
                 })
                 .count()
         };

@@ -21,8 +21,12 @@ pub struct ClockCosts {
     pub run_s: f64,
     /// Extra seconds per measurement when the device is driven over RPC.
     pub rpc_s: f64,
-    /// Seconds per cost-model prediction (batched).
+    /// Seconds per cost-model prediction (one-at-a-time dispatch).
     pub predict_s: f64,
+    /// Marginal seconds per prediction inside a matrix-shaped batch call:
+    /// batching amortizes dispatch and wins weight-row locality, so the
+    /// per-sample cost is well below `predict_s`.
+    pub predict_batch_s: f64,
     /// Seconds per gradient-descent step per seed (forward + backward).
     pub grad_step_s: f64,
     /// Seconds per evolutionary mutation/crossover per candidate.
@@ -38,6 +42,7 @@ impl Default for ClockCosts {
             run_s: 0.1,
             rpc_s: 0.25,
             predict_s: 40e-6,
+            predict_batch_s: 12e-6,
             grad_step_s: 220e-6,
             evolve_s: 12e-6,
             model_update_s: 1.2,
@@ -65,6 +70,14 @@ impl TuningClock {
     /// Charges `n` cost-model predictions.
     pub fn charge_predictions(&mut self, n: usize, costs: &ClockCosts) {
         self.now_s += n as f64 * costs.predict_s;
+    }
+
+    /// Charges `n` cost-model predictions evaluated as one matrix-shaped
+    /// batch. The charge depends only on `n`, never on how many worker
+    /// threads executed the batch, so serial and parallel tuner runs
+    /// produce identical simulated-time curves.
+    pub fn charge_batched_predictions(&mut self, n: usize, costs: &ClockCosts) {
+        self.now_s += n as f64 * costs.predict_batch_s;
     }
 
     /// Charges `n` evolutionary-search candidate operations.
@@ -105,6 +118,17 @@ mod tests {
             b.charge_measurement(false, &costs); // one Ansor round of measures
         }
         assert!(b.now_s() > 10.0 * a.now_s());
+    }
+
+    #[test]
+    fn batched_predictions_cost_less_than_scalar() {
+        let costs = ClockCosts::default();
+        let mut scalar = TuningClock::new();
+        scalar.charge_predictions(1000, &costs);
+        let mut batched = TuningClock::new();
+        batched.charge_batched_predictions(1000, &costs);
+        assert!(batched.now_s() > 0.0);
+        assert!(batched.now_s() < scalar.now_s());
     }
 
     #[test]

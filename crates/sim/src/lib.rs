@@ -164,7 +164,7 @@ impl Simulator {
         let unique =
             (f("global_read_unique_bytes") + f("global_write_unique_bytes")).max(4.0);
         let blocks = f("num_blocks").max(1.0);
-        let threads = f("threads_per_block").max(1.0).min(1024.0);
+        let threads = f("threads_per_block").clamp(1.0, 1024.0);
         let vthreads = f("vthreads").max(1.0);
         let shared_pb = f("shared_bytes_per_block").max(0.0);
         let regs = f("reg_pressure_est").clamp(24.0, 1024.0);

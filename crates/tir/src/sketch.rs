@@ -384,7 +384,7 @@ pub fn multi_level_tiling_sketch(init: &Program, hw: &HardwareParams) -> Sketch 
         for pos in 0..n {
             let (l, r) = level_of(&p, pos);
             // Untiled spatial axes (extent 1) have a single level-0 loop.
-            if r == red && (l == lvl || (lvl == 0 && !r && l == 0)) && !order.contains(&pos) && l == lvl {
+            if r == red && l == lvl && !order.contains(&pos) {
                 order.push(pos);
             }
         }
@@ -755,7 +755,7 @@ mod tests {
         // Unroll is a power of two.
         let u = rounded[7] as i64;
         assert_eq!(u & (u - 1), 0, "unroll {u} must be a power of two");
-        assert!(u >= 1 && u <= 512);
+        assert!((1..=512).contains(&u));
     }
 
     #[test]
@@ -767,6 +767,78 @@ mod tests {
         let twice = round_to_valid(&s.program, &once);
         assert_eq!(once, twice);
         assert_eq!(once, raw, "already-valid schedules are fixed points");
+    }
+
+    #[test]
+    fn single_split_rounds_to_log_space_nearest_factor() {
+        // The k axis of the tiling sketch has exactly one split variable
+        // (var index 6, extent 96 here), so its rounding is a direct
+        // round_to_factor call; check it against a brute-force search for
+        // the factor nearest in log space.
+        let p = dense(512, 384, 96);
+        let s = multi_level_tiling_sketch(&p, &HardwareParams::default());
+        let fs = felix_expr::factor::factors(96);
+        for i in 0..60 {
+            let x: f64 = 0.3 * 1.12f64.powi(i); // 0.3 .. ~170
+            let mut raw = vec![2.0, 8.0, 4.0, 2.0, 8.0, 4.0, 0.0, 64.0];
+            raw[6] = x;
+            let rounded = round_to_valid(&s.program, &raw);
+            let got = rounded[6] as u64;
+            let dist = |f: u64| ((f as f64).ln() - x.max(1.0).ln()).abs();
+            let best = fs.iter().copied().map(dist).fold(f64::INFINITY, f64::min);
+            assert!(fs.contains(&got), "x={x} got={got}");
+            assert!(
+                (dist(got) - best).abs() < 1e-12,
+                "x={x}: got factor {got} (log-dist {}), nearest is {best}",
+                dist(got)
+            );
+        }
+    }
+
+    #[test]
+    fn unroll_rounds_to_log_space_nearest_power_of_two() {
+        let p = dense(256, 256, 256);
+        let s = multi_level_tiling_sketch(&p, &HardwareParams::default());
+        let pows: Vec<u64> = (0..10).map(|e| 1u64 << e).collect(); // 1..512
+        for i in 0..50 {
+            let x: f64 = 0.5 * 1.18f64.powi(i); // 0.5 .. ~2000 (past the cap)
+            let mut raw = vec![2.0, 8.0, 4.0, 2.0, 8.0, 4.0, 8.0, 0.0];
+            raw[7] = x;
+            let rounded = round_to_valid(&s.program, &raw);
+            let got = rounded[7] as u64;
+            let dist = |f: u64| ((f as f64).ln() - x.max(1.0).ln()).abs();
+            let best = pows.iter().copied().map(dist).fold(f64::INFINITY, f64::min);
+            assert!(pows.contains(&got), "x={x} got={got}");
+            assert!(
+                (dist(got) - best).abs() < 1e-12,
+                "x={x}: got {got}, log-dist {} vs best {best}",
+                dist(got)
+            );
+        }
+    }
+
+    #[test]
+    fn rounding_is_idempotent_on_random_points() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x2071D);
+        for (m, k, n) in [(512, 384, 96), (96, 60, 210), (256, 256, 256)] {
+            let p = dense(m, n, k);
+            let s = multi_level_tiling_sketch(&p, &HardwareParams::default());
+            let nv = s.program.vars.len();
+            for _ in 0..64 {
+                let raw: Vec<f64> = (0..nv).map(|_| rng.gen_range(-2.0f64..80.0)).collect();
+                let once = round_to_valid(&s.program, &raw);
+                let twice = round_to_valid(&s.program, &once);
+                assert_eq!(once, twice, "raw {raw:?}");
+                // Every rounded schedule variable is integral and in range.
+                for sv in &s.program.sched_vars {
+                    let v = once[sv.var.index()];
+                    assert_eq!(v.fract(), 0.0);
+                    assert!(v >= 1.0 && v <= sv.upper_bound() as f64);
+                }
+            }
+        }
     }
 
     #[test]
