@@ -3,7 +3,7 @@
 
 use crate::{Proposer, SearchTask};
 use felix_cost::{
-    crossover_schedules, log_transform, mutate_schedule, random_schedule, Mlp,
+    crossover_schedules, log_transform_into, mutate_schedule, random_schedule, Mlp,
 };
 use felix_sim::clock::ClockCosts;
 use felix_sim::TuningClock;
@@ -42,12 +42,20 @@ pub struct EvolutionaryProposer {
     pub config: EvolutionConfig,
     trace: Vec<f64>,
     scratch: Vec<f64>,
+    raw: Vec<f64>,
+    logrow: Vec<f64>,
 }
 
 impl EvolutionaryProposer {
     /// With the paper's default settings.
     pub fn new(config: EvolutionConfig) -> Self {
-        EvolutionaryProposer { config, trace: Vec::new(), scratch: Vec::new() }
+        EvolutionaryProposer {
+            config,
+            trace: Vec::new(),
+            scratch: Vec::new(),
+            raw: Vec::new(),
+            logrow: Vec::new(),
+        }
     }
 
     fn score_population(
@@ -62,8 +70,9 @@ impl EvolutionaryProposer {
         pop.iter()
             .map(|(sk, vals)| {
                 let st = &task.sketches[*sk];
-                let raw = st.eval_features(vals, &mut self.scratch);
-                let score = model.predict(&log_transform(&raw));
+                st.eval_features_into(vals, &mut self.scratch, &mut self.raw);
+                log_transform_into(&self.raw, &mut self.logrow);
+                let score = model.predict(&self.logrow);
                 self.trace.push(score);
                 score
             })

@@ -44,6 +44,18 @@ impl SketchState {
     pub fn eval_features(&self, values: &[f64], scratch: &mut Vec<f64>) -> Vec<f64> {
         self.compiled.eval_into(values, scratch)
     }
+
+    /// [`SketchState::eval_features`] into a caller-owned output buffer
+    /// (cleared first); with both buffers reused, scoring loops allocate
+    /// nothing per candidate.
+    pub fn eval_features_into(
+        &self,
+        values: &[f64],
+        scratch: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) {
+        self.compiled.eval_write(values, scratch, out);
+    }
 }
 
 /// Search state of one tuning task (fused subgraph).
@@ -143,13 +155,23 @@ pub struct TunerStats {
     pub cache_misses: usize,
     /// Worker threads the round ran on (1 = serial).
     pub threads: usize,
+    /// Total expression-pool nodes across this round's sketch objectives
+    /// (what a full pool sweep would walk per evaluation).
+    pub pool_nodes: usize,
+    /// Total compiled-tape instructions across this round's sketch
+    /// objectives (what the fused forward+reverse passes actually touch).
+    pub tape_nodes: usize,
+    /// Seconds spent compiling the gradient tapes behind this round's
+    /// objectives (paid once at objective build time; later rounds report
+    /// the same amortized figure for cached objectives).
+    pub tape_compile_s: f64,
 }
 
 impl TunerStats {
     /// One-line human-readable rendering for bench binaries and logs.
     pub fn summary(&self) -> String {
         format!(
-            "steps {} ({:.0}/s, {} thr) cand {} viol {:.0}% dup {:.0}% cache {}/{}",
+            "steps {} ({:.0}/s, {} thr) cand {} viol {:.0}% dup {:.0}% cache {}/{} tape {}/{} nodes ({:.1} ms compile)",
             self.grad_steps,
             self.steps_per_sec,
             self.threads,
@@ -158,6 +180,9 @@ impl TunerStats {
             self.rounding_rejection_rate * 100.0,
             self.cache_hits,
             self.cache_hits + self.cache_misses,
+            self.tape_nodes,
+            self.pool_nodes,
+            self.tape_compile_s * 1e3,
         )
     }
 }

@@ -1,21 +1,128 @@
-//! Parallel-tuner benchmark: serial vs multi-threaded `propose`, plus the
-//! batched-vs-scalar cost-model microbenchmark underneath it.
+//! Parallel-tuner benchmark: serial vs multi-threaded `propose`, the
+//! batched-vs-scalar cost-model microbenchmark underneath it, and the
+//! compiled-gradient-tape vs pool-walking comparison underneath *that*.
 //!
 //! Prints per-configuration round times, `TunerStats` summaries, and the
 //! speedup of the parallel path, and **checks that every thread count
 //! produced bit-identical candidates** — the determinism guarantee the
-//! parallel tuner is built around (see DESIGN.md).
+//! parallel tuner is built around (see DESIGN.md). The tape section always
+//! asserts bitwise equality between the tape and pool objective paths;
+//! `TUNER_BENCH_SMOKE=1` runs only those asserts (CI mode, no timing
+//! claims), while the default timed mode additionally requires the tape to
+//! beat the pool reference by >= 3x on the dense-512 sketch and writes
+//! `results/BENCH_tape.json`.
 
 use felix::parallel::effective_threads;
-use felix::{FelixOptions, GradientProposer};
+use felix::{EvalScratch, FelixOptions, GradientProposer, SketchObjective};
 use felix_ansor::{Proposer, SearchTask, TunerStats};
-use felix_bench::{cached_model, Scale};
+use felix_bench::{cached_model, write_result, Scale};
 use felix_graph::{Op, Subgraph, Task};
 use felix_sim::clock::ClockCosts;
 use felix_sim::{DeviceConfig, Simulator, TuningClock};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
+
+/// Builds the dense-512 objective (the paper's flagship single subgraph) and
+/// compares the compiled tape against the pool-walking reference oracle:
+/// always bitwise equality of `(objective, score, gradient)`, plus — in
+/// timed mode — a >= 3x throughput requirement for the fused
+/// forward+reverse expression sweeps.
+fn tape_bench(model: &felix_cost::Mlp, smoke: bool) {
+    use felix_tir::sketch::{multi_level_tiling_sketch, HardwareParams};
+    let sg = Subgraph { ops: vec![Op::Dense { m: 512, k: 512, n: 512 }] };
+    let p0 = felix_graph::lower::lower_subgraph(&sg);
+    let sk = multi_level_tiling_sketch(&p0, &HardwareParams::default());
+    let mut program = sk.program;
+    let fs = felix_features::extract_features(&mut program);
+    let obj = SketchObjective::build(&program, &fs.exprs);
+    let pool_nodes = obj.program.pool.len();
+    let tape_nodes = obj.tape.len();
+    println!(
+        "\ngradient tape: dense-512, {tape_nodes} tape instrs vs {pool_nodes} pool nodes ({:.1} ms compile)",
+        obj.tape_compile_s * 1e3
+    );
+
+    let mut rng = StdRng::seed_from_u64(0x7A9E);
+    let batch = 8usize;
+    let points: Vec<Vec<f64>> = (0..batch)
+        .map(|_| (0..obj.n_vars()).map(|_| rng.gen_range(0.3..3.5)).collect())
+        .collect();
+
+    // Equivalence (always on): tape path bit-identical to the pool oracle.
+    for y in &points {
+        let (c_t, s_t, g_t) = obj.cost_and_grad(model, 1.0, y);
+        let (c_p, s_p, g_p) = obj.cost_and_grad_pool(model, 1.0, y);
+        assert_eq!(c_t.to_bits(), c_p.to_bits(), "objective diverged at {y:?}");
+        assert_eq!(s_t.to_bits(), s_p.to_bits(), "score diverged at {y:?}");
+        assert_eq!(g_t.len(), g_p.len());
+        for (a, b) in g_t.iter().zip(&g_p) {
+            assert_eq!(a.to_bits(), b.to_bits(), "gradient diverged at {y:?}");
+        }
+    }
+    println!(
+        "  tape vs pool: bit-identical objective, score, and gradient on {} points",
+        points.len()
+    );
+
+    // Timing: expression sweeps only — the MLP call is identical in both
+    // paths, so a fixed (score, dscore) isolates the expr-side cost. The
+    // tape runs batched over all lanes, exactly as in the descent loop.
+    let (score, dscore) = {
+        let (_, feats) = obj.eval_feats_pool(&points[0]);
+        model.input_gradient(&feats)
+    };
+    let reps = if smoke { 2 } else { 30 };
+    let pool_start = Instant::now();
+    for _ in 0..reps {
+        for y in &points {
+            let (vals, _) = obj.eval_feats_pool(y);
+            std::hint::black_box(obj.grad_from_dscore_pool(vals, score, &dscore, 1.0));
+        }
+    }
+    let pool_pp = pool_start.elapsed().as_secs_f64() / (reps * batch) as f64;
+    let mut scratch = EvalScratch::default();
+    let mut grad = Vec::new();
+    let tape_start = Instant::now();
+    for _ in 0..reps {
+        obj.begin_batch(&mut scratch, batch);
+        for (lane, y) in points.iter().enumerate() {
+            obj.set_lane(&mut scratch, lane, y);
+        }
+        obj.forward_batch(&mut scratch);
+        for lane in 0..batch {
+            obj.seed_lane(&mut scratch, lane, &dscore, 1.0);
+        }
+        obj.backward_batch(&mut scratch);
+        for lane in 0..batch {
+            obj.grad_lane(&scratch, lane, &mut grad);
+            std::hint::black_box(&grad);
+        }
+    }
+    let tape_pp = tape_start.elapsed().as_secs_f64() / (reps * batch) as f64;
+    let speedup = pool_pp / tape_pp;
+    println!(
+        "  forward+reverse: pool {:>9.1} µs/pt   tape {:>9.1} µs/pt   ({speedup:.2}x, {batch} lanes)",
+        pool_pp * 1e6,
+        tape_pp * 1e6
+    );
+    write_result(
+        "BENCH_tape.json",
+        &format!(
+            "{{\n  \"pool_nodes\": {pool_nodes},\n  \"tape_nodes\": {tape_nodes},\n  \"tape_compile_ms\": {:.3},\n  \"pool_steps_per_sec\": {:.1},\n  \"tape_steps_per_sec\": {:.1},\n  \"speedup\": {:.3},\n  \"smoke\": {smoke}\n}}\n",
+            obj.tape_compile_s * 1e3,
+            1.0 / pool_pp,
+            1.0 / tape_pp,
+            speedup
+        ),
+    );
+    if !smoke {
+        assert!(
+            speedup >= 3.0,
+            "tape must beat the pool reference by >= 3x, got {speedup:.2}x"
+        );
+    }
+}
 
 fn mlp_micro(model: &felix_cost::Mlp) {
     // Batched inference vs one-at-a-time dispatch on identical inputs.
@@ -67,9 +174,15 @@ fn mlp_micro(model: &felix_cost::Mlp) {
 }
 
 fn main() {
+    let smoke = std::env::var("TUNER_BENCH_SMOKE").is_ok();
     let scale = Scale::from_env();
     let dev = DeviceConfig::a5000();
     let model = cached_model(&dev, scale);
+    tape_bench(&model, smoke);
+    if smoke {
+        println!("smoke mode: equivalence asserts passed; skipping timed sections");
+        return;
+    }
     mlp_micro(&model);
 
     let sim = Simulator::new(dev);

@@ -8,6 +8,12 @@
 //!
 //! # Parallel, batched execution
 //!
+//! Both halves of each Adam step are batched. The expression side runs on
+//! each sketch's compiled gradient tape
+//! ([`felix_expr::CompiledGradTape`], built once per objective): seeds
+//! sharing a sketch sweep the tape's fused forward and reverse passes in
+//! one structure-of-arrays pass over all lanes, with per-worker scratch
+//! buffers reused across steps so the steady-state loop is allocation-free.
 //! The cost model is evaluated in matrix-shaped batches: each Adam step
 //! makes one [`Mlp::input_gradient_batch`] call over all the seeds a worker
 //! owns instead of `nSeeds` scalar calls, and candidate ranking batches its
@@ -20,7 +26,7 @@
 //! count** — `threads: 1` is the proof path, `threads: 0` (one worker per
 //! core) the fast path.
 
-use crate::objective::{PipelineOptions, SketchObjective};
+use crate::objective::{EvalScratch, PipelineOptions, SketchObjective};
 use crate::parallel::{effective_threads, parallel_map};
 use felix_ansor::{Proposer, SearchTask, TunerStats};
 use felix_cost::{log_transform, AdamOpt, Mlp};
@@ -119,7 +125,13 @@ impl GradientProposer {
             });
             objectives.insert(task.name.clone(), built);
         }
-        &objectives[&task.name]
+        let objs = &objectives[&task.name];
+        for o in objs.iter() {
+            stats.pool_nodes += o.program.pool.len();
+            stats.tape_nodes += o.tape.len();
+            stats.tape_compile_s += o.tape_compile_s;
+        }
+        objs
     }
 }
 
@@ -149,10 +161,16 @@ fn score_candidates(
     .concat()
 }
 
-/// Runs the full Adam descent for one worker's seeds: per step, stage-1
-/// pool sweeps per seed, then ONE matrix-shaped MLP call over the chunk,
-/// then stage-2 reverse sweeps and Adam updates. Returns per-step predicted
-/// scores and `(sketch, y)` trajectory snapshots, both in seed order.
+/// Runs the full Adam descent for one worker's seeds. Seeds are grouped by
+/// sketch (stable first-seen order); per step each group runs ONE batched
+/// forward tape sweep across its lanes, the chunk makes ONE matrix-shaped
+/// MLP call over all features (in seed order), then each group runs ONE
+/// batched reverse sweep and the Adam updates apply per seed. All scratch
+/// buffers live outside the step loop, so steady state allocates only the
+/// per-step score/history rows. Lane layout never changes accumulation
+/// order, so scores and trajectories are bit-identical to a serial
+/// seed-at-a-time descent. Returns per-step predicted scores and
+/// `(sketch, y)` trajectory snapshots, both in seed order.
 #[allow(clippy::type_complexity)]
 fn descend_chunk(
     objectives: &[SketchObjective],
@@ -161,27 +179,47 @@ fn descend_chunk(
     n_steps: usize,
     seeds: &mut [Seed],
 ) -> (Vec<Vec<f64>>, Vec<Vec<(usize, Vec<f64>)>>) {
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (i, s) in seeds.iter().enumerate() {
+        match groups.iter_mut().find(|(sk, _)| *sk == s.sketch) {
+            Some((_, lanes)) => lanes.push(i),
+            None => groups.push((s.sketch, vec![i])),
+        }
+    }
+    let mut scratches: Vec<EvalScratch> = vec![EvalScratch::default(); groups.len()];
+    let mut feats: Vec<Vec<f64>> = vec![Vec::new(); seeds.len()];
+    let mut grad: Vec<f64> = Vec::new();
     let mut scores = Vec::with_capacity(n_steps);
     let mut history = Vec::with_capacity(n_steps);
     for _ in 0..n_steps {
-        let (node_vals, feats): (Vec<Vec<f64>>, Vec<Vec<f64>>) = seeds
-            .iter()
-            .map(|s| objectives[s.sketch].eval_feats(&s.y))
-            .unzip();
+        for ((sk, lanes), scratch) in groups.iter().zip(&mut scratches) {
+            let obj = &objectives[*sk];
+            obj.begin_batch(scratch, lanes.len());
+            for (lane, &i) in lanes.iter().enumerate() {
+                obj.set_lane(scratch, lane, &seeds[i].y);
+            }
+            obj.forward_batch(scratch);
+            for (lane, &i) in lanes.iter().enumerate() {
+                obj.write_feats(scratch, lane, &mut feats[i]);
+            }
+        }
         let mlp_out = model.input_gradient_batch(&feats);
-        let mut step_scores = Vec::with_capacity(seeds.len());
-        let mut step_hist = Vec::with_capacity(seeds.len());
-        for ((seed, vals), (score, dscore)) in
-            seeds.iter_mut().zip(node_vals).zip(&mlp_out)
-        {
-            let (_, score, grad) =
-                objectives[seed.sketch].grad_from_dscore(vals, *score, dscore, lambda);
-            seed.opt.step(&mut seed.y, &grad);
-            step_scores.push(score);
-            step_hist.push((seed.sketch, seed.y.clone()));
+        let mut step_scores = vec![0.0; seeds.len()];
+        for ((sk, lanes), scratch) in groups.iter().zip(&mut scratches) {
+            let obj = &objectives[*sk];
+            for (lane, &i) in lanes.iter().enumerate() {
+                let (score, dscore) = &mlp_out[i];
+                step_scores[i] = *score;
+                obj.seed_lane(scratch, lane, dscore, lambda);
+            }
+            obj.backward_batch(scratch);
+            for (lane, &i) in lanes.iter().enumerate() {
+                obj.grad_lane(scratch, lane, &mut grad);
+                seeds[i].opt.step(&mut seeds[i].y, &grad);
+            }
         }
         scores.push(step_scores);
-        history.push(step_hist);
+        history.push(seeds.iter().map(|s| (s.sketch, s.y.clone())).collect());
     }
     (scores, history)
 }

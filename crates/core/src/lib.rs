@@ -46,4 +46,4 @@ pub use api::{
     extract_subgraphs, pretrained_cost_model, CompiledModule, ModelQuality, Optimizer,
 };
 pub use gd::{FelixOptions, GradientProposer};
-pub use objective::SketchObjective;
+pub use objective::{EvalScratch, SketchObjective};

@@ -19,7 +19,7 @@ use felix_cost::Mlp;
 use felix_expr::autodiff::GradOptions;
 use felix_expr::rewrite::simplify_with_limits;
 use felix_expr::subst::exp_substitution;
-use felix_expr::{smooth_all, ExprId, VarId};
+use felix_expr::{smooth_all, CompiledGradTape, ExprId, VarId};
 use felix_egraph::RunnerLimits;
 use felix_tir::Program;
 use std::collections::HashMap;
@@ -65,8 +65,36 @@ pub struct SketchObjective {
     pub x_to_y: HashMap<VarId, VarId>,
     /// Optimization variables, in the order of the original schedule vars.
     pub y_vars: Vec<VarId>,
+    /// The original `x` variable behind each optimization slot (aligned
+    /// with `y_vars`), precomputed so x↔y conversions need no map scans.
+    y_to_x: Vec<VarId>,
+    /// Compiled forward+reverse tape over the live feature and penalty
+    /// sub-DAG (the hot path of every Adam step); the pool-walking methods
+    /// remain as the reference oracle.
+    pub tape: CompiledGradTape,
+    /// Seconds spent compiling the tape.
+    pub tape_compile_s: f64,
     /// Pipeline stages this objective was built with.
     pub pipeline: PipelineOptions,
+}
+
+/// Reusable buffers for tape-based objective evaluation. One scratch per
+/// worker (or per sketch group) makes the steady-state descent loop
+/// allocation-free: every buffer grows once and is then rewritten in place.
+#[derive(Clone, Debug, Default)]
+pub struct EvalScratch {
+    /// Variable values, variable-major: `vars[v * batch + lane]`.
+    vars: Vec<f64>,
+    /// Forward tape values, slot-major.
+    vals: Vec<f64>,
+    /// Reverse adjoints, slot-major.
+    adj: Vec<f64>,
+    /// Root adjoint seeds, root-major.
+    seeds: Vec<f64>,
+    /// Per-variable gradients, variable-major.
+    grad: Vec<f64>,
+    /// Lanes in the current batch.
+    batch: usize,
 }
 
 impl SketchObjective {
@@ -122,13 +150,19 @@ impl SketchObjective {
         };
         let log_feat_roots = simplified[..n_feats].to_vec();
         let penalty_roots = simplified[n_feats..].to_vec();
-        let y_vars = xs.iter().map(|x| x_to_y[x]).collect();
+        let y_vars: Vec<VarId> = xs.iter().map(|x| x_to_y[x]).collect();
+        let compile_start = std::time::Instant::now();
+        let tape = CompiledGradTape::compile(&program.pool, &simplified);
+        let tape_compile_s = compile_start.elapsed().as_secs_f64();
         SketchObjective {
             program,
             log_feat_roots,
             penalty_roots,
             x_to_y,
+            y_to_x: xs,
             y_vars,
+            tape,
+            tape_compile_s,
             pipeline,
         }
     }
@@ -140,12 +174,7 @@ impl SketchObjective {
 
     /// The original `x` variable behind optimization slot `i`.
     fn x_var(&self, i: usize) -> VarId {
-        let y = self.y_vars[i];
-        self.x_to_y
-            .iter()
-            .find(|(_, &yy)| yy == y)
-            .map(|(&x, _)| x)
-            .expect("y var has an x source")
+        self.y_to_x[i]
     }
 
     /// Converts a concrete x-space schedule into the y-space starting point.
@@ -182,13 +211,13 @@ impl SketchObjective {
         vals
     }
 
-    /// Stage 1 of [`SketchObjective::cost_and_grad`]: one forward sweep of
-    /// the expression pool. Returns every node's value plus the extracted
-    /// log-feature vector — the MLP input. Split out so the tuner can batch
-    /// the MLP call across seeds: evaluate stage 1 for all seeds, run one
-    /// matrix-shaped [`Mlp::input_gradient_batch`], then finish each seed
-    /// with [`SketchObjective::grad_from_dscore`].
-    pub fn eval_feats(&self, y: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    /// Stage 1 of the **pool-walking reference oracle**: one forward sweep
+    /// of the *entire* expression pool. Returns every node's value plus the
+    /// extracted log-feature vector — the MLP input. The production path is
+    /// the compiled tape ([`SketchObjective::cost_and_grad`] and the batched
+    /// API); this sweep pays for the whole rewrite history and exists to
+    /// check the tape against and for ablation debugging.
+    pub fn eval_feats_pool(&self, y: &[f64]) -> (Vec<f64>, Vec<f64>) {
         let vals = self.full_values(y);
         let node_vals = self.program.pool.eval_all(&vals);
         let feats: Vec<f64> = self
@@ -199,11 +228,12 @@ impl SketchObjective {
         (node_vals, feats)
     }
 
-    /// Stage 2 of [`SketchObjective::cost_and_grad`]: given the pool values
-    /// from [`SketchObjective::eval_feats`] and the MLP's `(score, ∂C/∂feat)`
-    /// for this point, applies the penalty terms and runs the reverse-mode
-    /// sweep. Returns `(objective, predicted_score, gradient)`.
-    pub fn grad_from_dscore(
+    /// Stage 2 of the pool-walking reference oracle: given the pool values
+    /// from [`SketchObjective::eval_feats_pool`] and the MLP's
+    /// `(score, ∂C/∂feat)` for this point, applies the penalty terms and
+    /// runs the reverse-mode sweep over the full pool. Returns
+    /// `(objective, predicted_score, gradient)`.
+    pub fn grad_from_dscore_pool(
         &self,
         node_vals: Vec<f64>,
         score: f64,
@@ -241,8 +271,119 @@ impl SketchObjective {
         (objective, score, grad)
     }
 
+    /// Full pool-walking `cost_and_grad`: the reference oracle the tape
+    /// path is checked against (tests, `tuner_bench` equivalence asserts).
+    pub fn cost_and_grad_pool(
+        &self,
+        model: &Mlp,
+        lambda: f64,
+        y: &[f64],
+    ) -> (f64, f64, Vec<f64>) {
+        let (node_vals, feats) = self.eval_feats_pool(y);
+        let (score, dscore) = model.input_gradient(&feats);
+        self.grad_from_dscore_pool(node_vals, score, &dscore, lambda)
+    }
+
+    // ------------------------------------------------------------------
+    // Batched tape evaluation. The descent loop sweeps every live seed of
+    // a sketch through the tape in one structure-of-arrays pass, mirroring
+    // the batched MLP: per step it runs `begin_batch`/`set_lane`/
+    // `forward_batch`, one matrix-shaped MLP call over the features, then
+    // `seed_lane`/`backward_batch`/`grad_lane`. Batch width only changes
+    // memory layout, never accumulation order, so every lane is
+    // bit-identical to a batch-of-one evaluation.
+    // ------------------------------------------------------------------
+
+    /// Starts a batched evaluation of `batch` seeds, sizing `scratch`'s
+    /// variable block (non-schedule variables default to 1.0, as in the
+    /// pool path).
+    pub fn begin_batch(&self, scratch: &mut EvalScratch, batch: usize) {
+        scratch.batch = batch;
+        scratch.vars.clear();
+        scratch.vars.resize(self.program.vars.len() * batch, 1.0);
+    }
+
+    /// Writes one seed's y-space point into `lane` of the variable block.
+    pub fn set_lane(&self, scratch: &mut EvalScratch, lane: usize, y: &[f64]) {
+        let b = scratch.batch;
+        for (i, &yv) in self.y_vars.iter().enumerate() {
+            scratch.vars[yv.index() * b + lane] = y[i];
+        }
+    }
+
+    /// Runs the fused forward pass over all lanes and zeroes the adjoint
+    /// seed block for the coming backward pass.
+    pub fn forward_batch(&self, scratch: &mut EvalScratch) {
+        self.tape
+            .forward_batch(&scratch.vars, scratch.batch, &mut scratch.vals);
+        scratch.seeds.clear();
+        scratch
+            .seeds
+            .resize(self.tape.n_roots() * scratch.batch, 0.0);
+    }
+
+    /// Extracts `lane`'s log-feature vector (the MLP input) into `out`.
+    pub fn write_feats(&self, scratch: &EvalScratch, lane: usize, out: &mut Vec<f64>) {
+        out.clear();
+        for k in 0..self.log_feat_roots.len() {
+            out.push(self.tape.root_value(&scratch.vals, scratch.batch, k, lane));
+        }
+    }
+
+    /// Seeds `lane`'s adjoints from the MLP's input gradient plus the
+    /// penalty derivatives, returning the lane's penalty value
+    /// `λ Σ max(g_r, 0)²`. Must run after [`SketchObjective::forward_batch`].
+    pub fn seed_lane(
+        &self,
+        scratch: &mut EvalScratch,
+        lane: usize,
+        dscore: &[f64],
+        lambda: f64,
+    ) -> f64 {
+        let b = scratch.batch;
+        let n_feats = self.log_feat_roots.len();
+        for (k, &d) in dscore.iter().enumerate() {
+            scratch.seeds[k * b + lane] = -d;
+        }
+        let mut penalty = 0.0;
+        for j in 0..self.penalty_roots.len() {
+            let gv = self.tape.root_value(&scratch.vals, b, n_feats + j, lane);
+            if gv > 0.0 {
+                penalty += lambda * gv * gv;
+                scratch.seeds[(n_feats + j) * b + lane] = lambda * 2.0 * gv;
+            } else {
+                scratch.seeds[(n_feats + j) * b + lane] = 0.0;
+            }
+        }
+        penalty
+    }
+
+    /// Runs the fused reverse sweep over all lanes at once.
+    pub fn backward_batch(&self, scratch: &mut EvalScratch) {
+        self.tape
+            .backward_batch(
+                &scratch.seeds,
+                scratch.batch,
+                &scratch.vals,
+                self.program.vars.len(),
+                &mut scratch.adj,
+                &mut scratch.grad,
+                !self.pipeline.smoothing,
+            )
+            .expect("objective DAG is smooth by construction");
+    }
+
+    /// Extracts `lane`'s gradient `∂O/∂y` into `out`.
+    pub fn grad_lane(&self, scratch: &EvalScratch, lane: usize, out: &mut Vec<f64>) {
+        out.clear();
+        let b = scratch.batch;
+        for &v in &self.y_vars {
+            out.push(scratch.grad[v.index() * b + lane]);
+        }
+    }
+
     /// Evaluates `O(y)` and `∂O/∂y` (Eqn. 4): `O = −C(feat(y)) +
-    /// λ Σ max(g_r(y), 0)²`.
+    /// λ Σ max(g_r(y), 0)²`, via the compiled tape.
     ///
     /// Returns `(objective, predicted_score, gradient)`.
     pub fn cost_and_grad(
@@ -251,25 +392,46 @@ impl SketchObjective {
         lambda: f64,
         y: &[f64],
     ) -> (f64, f64, Vec<f64>) {
-        let (node_vals, feats) = self.eval_feats(y);
+        let mut scratch = EvalScratch::default();
+        self.cost_and_grad_with(model, lambda, y, &mut scratch)
+    }
+
+    /// [`SketchObjective::cost_and_grad`] with caller-owned scratch buffers
+    /// (allocation-free once the buffers have grown to size).
+    pub fn cost_and_grad_with(
+        &self,
+        model: &Mlp,
+        lambda: f64,
+        y: &[f64],
+        scratch: &mut EvalScratch,
+    ) -> (f64, f64, Vec<f64>) {
+        self.begin_batch(scratch, 1);
+        self.set_lane(scratch, 0, y);
+        self.forward_batch(scratch);
+        let mut feats = Vec::with_capacity(self.log_feat_roots.len());
+        self.write_feats(scratch, 0, &mut feats);
         let (score, dscore) = model.input_gradient(&feats);
-        self.grad_from_dscore(node_vals, score, &dscore, lambda)
+        let penalty = self.seed_lane(scratch, 0, &dscore, lambda);
+        self.backward_batch(scratch);
+        let mut grad = Vec::with_capacity(self.y_vars.len());
+        self.grad_lane(scratch, 0, &mut grad);
+        (-score + penalty, score, grad)
     }
 
     /// Evaluates only the objective value (for testing against numeric
-    /// gradients).
+    /// gradients) — tape forward pass only, no reverse sweep.
     pub fn cost(&self, model: &Mlp, lambda: f64, y: &[f64]) -> f64 {
-        let vals = self.full_values(y);
-        let node_vals = self.program.pool.eval_all(&vals);
-        let feats: Vec<f64> = self
-            .log_feat_roots
-            .iter()
-            .map(|e| node_vals[e.index()])
-            .collect();
+        let mut scratch = EvalScratch::default();
+        self.begin_batch(&mut scratch, 1);
+        self.set_lane(&mut scratch, 0, y);
+        self.tape.forward_batch(&scratch.vars, 1, &mut scratch.vals);
+        let mut feats = Vec::with_capacity(self.log_feat_roots.len());
+        self.write_feats(&scratch, 0, &mut feats);
         let score = model.predict(&feats);
+        let n_feats = self.log_feat_roots.len();
         let mut penalty = 0.0;
-        for &g in &self.penalty_roots {
-            let gv = node_vals[g.index()];
+        for j in 0..self.penalty_roots.len() {
+            let gv = self.tape.root_value(&scratch.vals, 1, n_feats + j, 0);
             if gv > 0.0 {
                 penalty += lambda * gv * gv;
             }
@@ -364,6 +526,68 @@ mod tests {
         }
         let cosine = dot / (na.sqrt() * nb.sqrt()).max(1e-12);
         assert!(cosine > 0.95, "gradient direction off: cosine {cosine}");
+    }
+
+    #[test]
+    fn tape_path_is_bitwise_identical_to_pool_oracle() {
+        let (obj, _) = build_dense_objective();
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = Mlp::new(&mut rng);
+        let points = [
+            vec![0.5, 2.3, 1.1, 0.4, 2.0, 1.3, 1.9, 3.5],
+            vec![0.5, 6.3, 1.1, 0.4, 6.3, 1.3, 1.9, 3.5],
+            vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+        ];
+        for y in &points {
+            let (c_tape, s_tape, g_tape) = obj.cost_and_grad(&model, 1.0, y);
+            let (c_pool, s_pool, g_pool) = obj.cost_and_grad_pool(&model, 1.0, y);
+            assert_eq!(c_tape.to_bits(), c_pool.to_bits());
+            assert_eq!(s_tape.to_bits(), s_pool.to_bits());
+            assert_eq!(g_tape.len(), g_pool.len());
+            for (a, b) in g_tape.iter().zip(&g_pool) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{g_tape:?} vs {g_pool:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_lanes_match_single_seed_evaluation() {
+        let (obj, _) = build_dense_objective();
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = Mlp::new(&mut rng);
+        let points = [
+            vec![0.5, 2.3, 1.1, 0.4, 2.0, 1.3, 1.9, 3.5],
+            vec![0.7, 1.9, 0.3, 1.4, 2.6, 0.8, 2.2, 3.0],
+            vec![0.5, 6.3, 1.1, 0.4, 6.3, 1.3, 1.9, 3.5],
+            vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+        ];
+        let batch = points.len();
+        let mut scratch = EvalScratch::default();
+        obj.begin_batch(&mut scratch, batch);
+        for (lane, y) in points.iter().enumerate() {
+            obj.set_lane(&mut scratch, lane, y);
+        }
+        obj.forward_batch(&mut scratch);
+        let mut feats = Vec::new();
+        let mut penalties = vec![0.0; batch];
+        let mut scores = vec![0.0; batch];
+        for (lane, _) in points.iter().enumerate() {
+            obj.write_feats(&scratch, lane, &mut feats);
+            let (score, dscore) = model.input_gradient(&feats);
+            scores[lane] = score;
+            penalties[lane] = obj.seed_lane(&mut scratch, lane, &dscore, 1.0);
+        }
+        obj.backward_batch(&mut scratch);
+        let mut grad = Vec::new();
+        for (lane, y) in points.iter().enumerate() {
+            obj.grad_lane(&scratch, lane, &mut grad);
+            let (c1, s1, g1) = obj.cost_and_grad(&model, 1.0, y);
+            assert_eq!(s1.to_bits(), scores[lane].to_bits());
+            assert_eq!(c1.to_bits(), (-scores[lane] + penalties[lane]).to_bits());
+            for (a, b) in grad.iter().zip(&g1) {
+                assert_eq!(a.to_bits(), b.to_bits(), "lane {lane}");
+            }
+        }
     }
 
     #[test]

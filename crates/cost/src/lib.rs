@@ -39,7 +39,16 @@ pub fn score_to_latency(score: f64) -> f64 {
 /// Log-transforms a raw feature vector (`ln(1+f)`), the same transform the
 /// symbolic pipeline applies (paper §3.3).
 pub fn log_transform(raw: &[f64]) -> Vec<f64> {
-    raw.iter().map(|&x| (1.0 + x.max(-0.999_999)).ln()).collect()
+    let mut out = Vec::new();
+    log_transform_into(raw, &mut out);
+    out
+}
+
+/// [`log_transform`] into a caller-owned buffer (cleared first), so hot
+/// scoring loops stay allocation-free.
+pub fn log_transform_into(raw: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(raw.iter().map(|&x| (1.0 + x.max(-0.999_999)).ln()));
 }
 
 /// A fully-connected ReLU network with input normalization.

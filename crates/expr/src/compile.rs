@@ -6,64 +6,28 @@
 //! schedules (the evolutionary baseline's inner loop). A [`CompiledExprs`]
 //! tape touches only reachable nodes, in one contiguous pass, and is
 //! reusable across evaluations via a caller-provided scratch buffer.
+//!
+//! `CompiledExprs` is the forward-only view over the same compiled tape the
+//! gradient tuner uses ([`crate::tape::CompiledGradTape`]), so both search
+//! algorithms share one compilation pipeline (dead-code elimination,
+//! constant folding, hash-cons CSE).
 
-use crate::{BinOp, CmpOp, ENode, ExprId, ExprPool, UnOp};
-
-/// One tape instruction; operands index into the tape's value buffer.
-#[derive(Clone, Copy, Debug)]
-enum Instr {
-    Const(f64),
-    Var(u32),
-    Un(UnOp, u32),
-    Bin(BinOp, u32, u32),
-    Cmp(CmpOp, u32, u32),
-    Select(u32, u32, u32),
-}
+use crate::tape::CompiledGradTape;
+use crate::{ExprId, ExprPool};
 
 /// A compact tape evaluating a fixed set of roots.
 #[derive(Clone, Debug)]
 pub struct CompiledExprs {
-    tape: Vec<Instr>,
-    roots: Vec<u32>,
+    tape: CompiledGradTape,
 }
 
 impl CompiledExprs {
     /// Compiles the sub-DAG reachable from `roots` out of `pool`.
     pub fn compile(pool: &ExprPool, roots: &[ExprId]) -> Self {
-        // Mark reachable nodes, then renumber them in pool (topological)
-        // order so children always precede parents on the tape.
-        let mut needed = vec![false; pool.len()];
-        let mut stack: Vec<ExprId> = roots.to_vec();
-        while let Some(id) = stack.pop() {
-            if needed[id.index()] {
-                continue;
-            }
-            needed[id.index()] = true;
-            stack.extend(pool.node(id).children());
-        }
-        let mut remap = vec![u32::MAX; pool.len()];
-        let mut tape = Vec::new();
-        for (idx, node) in pool.nodes().iter().enumerate() {
-            if !needed[idx] {
-                continue;
-            }
-            let r = |e: ExprId| remap[e.index()];
-            let instr = match *node {
-                ENode::Const(b) => Instr::Const(f64::from_bits(b)),
-                ENode::Var(v) => Instr::Var(v.0),
-                ENode::Un(op, a) => Instr::Un(op, r(a)),
-                ENode::Bin(op, a, b) => Instr::Bin(op, r(a), r(b)),
-                ENode::Cmp(op, a, b) => Instr::Cmp(op, r(a), r(b)),
-                ENode::Select(c, t, e) => Instr::Select(r(c), r(t), r(e)),
-            };
-            remap[idx] = tape.len() as u32;
-            tape.push(instr);
-        }
-        let roots = roots.iter().map(|r| remap[r.index()]).collect();
-        CompiledExprs { tape, roots }
+        CompiledExprs { tape: CompiledGradTape::compile(pool, roots) }
     }
 
-    /// Number of tape instructions (reachable nodes).
+    /// Number of tape instructions (reachable nodes after folding/CSE).
     pub fn len(&self) -> usize {
         self.tape.len()
     }
@@ -73,63 +37,20 @@ impl CompiledExprs {
         self.tape.is_empty()
     }
 
+    /// Evaluates all roots into the caller's `out` buffer (cleared first),
+    /// reusing `scratch` across calls. The steady-state loop is
+    /// allocation-free once both buffers have grown to size.
+    pub fn eval_write(&self, var_values: &[f64], scratch: &mut Vec<f64>, out: &mut Vec<f64>) {
+        self.tape.forward(var_values, scratch);
+        self.tape.write_roots(scratch, 1, 0, out);
+    }
+
     /// Evaluates all roots, reusing `scratch` across calls (it is resized
     /// as needed). Returns one value per root, in compile order.
     pub fn eval_into(&self, var_values: &[f64], scratch: &mut Vec<f64>) -> Vec<f64> {
-        scratch.clear();
-        scratch.reserve(self.tape.len());
-        for instr in &self.tape {
-            let v = match *instr {
-                Instr::Const(c) => c,
-                Instr::Var(v) => var_values[v as usize],
-                Instr::Un(op, a) => {
-                    let a = scratch[a as usize];
-                    match op {
-                        UnOp::Neg => -a,
-                        UnOp::Log => a.ln(),
-                        UnOp::Exp => a.exp(),
-                        UnOp::Sqrt => a.sqrt(),
-                        UnOp::Abs => a.abs(),
-                    }
-                }
-                Instr::Bin(op, a, b) => {
-                    let (a, b) = (scratch[a as usize], scratch[b as usize]);
-                    match op {
-                        BinOp::Add => a + b,
-                        BinOp::Sub => a - b,
-                        BinOp::Mul => a * b,
-                        BinOp::Div => a / b,
-                        BinOp::Pow => a.powf(b),
-                        BinOp::Min => a.min(b),
-                        BinOp::Max => a.max(b),
-                    }
-                }
-                Instr::Cmp(op, a, b) => {
-                    let (a, b) = (scratch[a as usize], scratch[b as usize]);
-                    let r = match op {
-                        CmpOp::Lt => a < b,
-                        CmpOp::Le => a <= b,
-                        CmpOp::Gt => a > b,
-                        CmpOp::Ge => a >= b,
-                        CmpOp::Eq => a == b,
-                    };
-                    if r {
-                        1.0
-                    } else {
-                        0.0
-                    }
-                }
-                Instr::Select(c, t, e) => {
-                    if scratch[c as usize] != 0.0 {
-                        scratch[t as usize]
-                    } else {
-                        scratch[e as usize]
-                    }
-                }
-            };
-            scratch.push(v);
-        }
-        self.roots.iter().map(|&r| scratch[r as usize]).collect()
+        let mut out = Vec::with_capacity(self.tape.n_roots());
+        self.eval_write(var_values, scratch, &mut out);
+        out
     }
 
     /// Convenience: [`CompiledExprs::eval_into`] with a fresh scratch buffer.
@@ -198,6 +119,23 @@ mod tests {
         for i in 1..50 {
             let out = compiled.eval_into(&[i as f64], &mut scratch);
             assert_eq!(out, vec![(i * i) as f64]);
+        }
+    }
+
+    #[test]
+    fn eval_write_reuses_output_buffer() {
+        let mut vars = VarTable::new();
+        let vx = vars.fresh("x");
+        let mut p = ExprPool::new();
+        let x = p.var(vx);
+        let sq = p.mul(x, x);
+        let cube = p.mul(sq, x);
+        let compiled = CompiledExprs::compile(&p, &[sq, cube]);
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        for i in 1..20 {
+            compiled.eval_write(&[i as f64], &mut scratch, &mut out);
+            assert_eq!(out, vec![(i * i) as f64, (i * i * i) as f64]);
         }
     }
 

@@ -36,9 +36,11 @@ pub mod factor;
 pub mod rewrite;
 pub mod smooth;
 pub mod subst;
+pub mod tape;
 
 pub use autodiff::{GradError, Gradients};
 pub use compile::CompiledExprs;
+pub use tape::CompiledGradTape;
 pub use display::DisplayExpr;
 pub use factor::{factors, round_to_factor};
 pub use smooth::{is_smooth, smooth_all, smooth_expr};

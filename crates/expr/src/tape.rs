@@ -1,0 +1,720 @@
+//! A compiled forward+reverse gradient tape over an [`ExprPool`] sub-DAG.
+//!
+//! The gradient-descent tuner evaluates `O(y)` and `∂O/∂y` for every seed on
+//! every Adam step, so the per-step cost of one forward sweep plus one
+//! reverse adjoint sweep is the throughput bottleneck of the whole search
+//! (paper §3.4, Algorithm 1). Walking the full [`ExprPool`] pays for the
+//! entire rewrite history — log1p, smoothing, exp-substitution and e-graph
+//! simplification all leave dead intermediate sub-DAGs behind — while only
+//! the final feature and penalty roots are live.
+//!
+//! [`CompiledGradTape`] extracts the sub-DAG reachable from a fixed set of
+//! roots into a compact instruction tape:
+//!
+//! - **dead-code elimination**: only nodes reachable from the roots are
+//!   compiled (the pool's rewrite debris is skipped entirely),
+//! - **constant folding**: an instruction whose operands are all constants
+//!   is evaluated at compile time (a no-op for pools built through the
+//!   smart constructors, which already fold — kept as a guard for directly
+//!   interned nodes),
+//! - **hash-cons CSE**: structurally identical instructions are merged
+//!   (again a no-op for hash-consed pools; folding can create new
+//!   duplicates).
+//!
+//! The tape then supports a fused forward-value pass and a reverse adjoint
+//! pass, both in a **batched structure-of-arrays mode**: values are laid
+//! out `[slot][lane]` so one pass sweeps every live seed of a sketch
+//! through the tape with unit-stride inner loops.
+//!
+//! # Determinism contract
+//!
+//! Tape slots preserve the pool's topological construction order, lanes are
+//! fully independent, and a lane's adjoint contributions accumulate in
+//! reverse slot order exactly like [`ExprPool::grad_multi_with_values`]
+//! walks the pool. Zero adjoints are skipped per lane (as the pool sweep
+//! skips zero-adjoint nodes), so no `0 · ∞ → NaN` artifacts appear in
+//! batched mode either. Consequently every value and gradient is
+//! **bit-identical** to the pool-walking reference and independent of the
+//! batch width — batch 1 and batch 64 produce the same bits per lane.
+
+use crate::autodiff::GradError;
+use crate::{BinOp, CmpOp, ENode, ExprId, ExprPool, UnOp, VarId};
+
+/// One tape instruction; operands are tape slot indices.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Instr {
+    /// A constant value.
+    Const(f64),
+    /// Read of a schedule variable (index into the caller's value vector).
+    Var(u32),
+    /// Unary application.
+    Un(UnOp, u32),
+    /// Binary application.
+    Bin(BinOp, u32, u32),
+    /// Comparison producing 0/1.
+    Cmp(CmpOp, u32, u32),
+    /// `select(cond, then, else)`.
+    Select(u32, u32, u32),
+}
+
+/// Hashable identity of an instruction (constants compare by bit pattern),
+/// used for compile-time common-subexpression elimination.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum InstrKey {
+    Const(u64),
+    Var(u32),
+    Un(UnOp, u32),
+    Bin(BinOp, u32, u32),
+    Cmp(CmpOp, u32, u32),
+    Select(u32, u32, u32),
+}
+
+impl Instr {
+    fn key(&self) -> InstrKey {
+        match *self {
+            Instr::Const(c) => InstrKey::Const(c.to_bits()),
+            Instr::Var(v) => InstrKey::Var(v),
+            Instr::Un(op, a) => InstrKey::Un(op, a),
+            Instr::Bin(op, a, b) => InstrKey::Bin(op, a, b),
+            Instr::Cmp(op, a, b) => InstrKey::Cmp(op, a, b),
+            Instr::Select(c, t, e) => InstrKey::Select(c, t, e),
+        }
+    }
+
+    /// Reconstructs an [`ENode`] (with tape slots standing in for pool ids)
+    /// for error reporting.
+    fn as_enode(&self) -> ENode {
+        let e = |s: u32| ExprId(s);
+        match *self {
+            Instr::Const(c) => ENode::Const(c.to_bits()),
+            Instr::Var(v) => ENode::Var(VarId(v)),
+            Instr::Un(op, a) => ENode::Un(op, e(a)),
+            Instr::Bin(op, a, b) => ENode::Bin(op, e(a), e(b)),
+            Instr::Cmp(op, a, b) => ENode::Cmp(op, e(a), e(b)),
+            Instr::Select(c, t, el) => ENode::Select(e(c), e(t), e(el)),
+        }
+    }
+}
+
+/// A compact forward+reverse evaluation tape for a fixed set of roots.
+///
+/// See the [module docs](self) for what compilation does and the
+/// determinism contract the passes uphold.
+#[derive(Clone, Debug)]
+pub struct CompiledGradTape {
+    instrs: Vec<Instr>,
+    roots: Vec<u32>,
+    /// Number of pool nodes that were reachable before folding/CSE.
+    source_nodes: usize,
+    /// 1 + the highest variable index read by any `Var` instruction.
+    min_var_values: usize,
+}
+
+impl CompiledGradTape {
+    /// Compiles the sub-DAG reachable from `roots` out of `pool`, applying
+    /// dead-code elimination, constant folding, and hash-cons CSE.
+    pub fn compile(pool: &ExprPool, roots: &[ExprId]) -> Self {
+        // DCE: mark the nodes reachable from the roots.
+        let mut needed = vec![false; pool.len()];
+        let mut stack: Vec<ExprId> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if needed[id.index()] {
+                continue;
+            }
+            needed[id.index()] = true;
+            stack.extend(pool.node(id).children());
+        }
+        // Emit in pool (topological) order so children precede parents and
+        // the tape's reverse order matches the pool's reverse sweep.
+        let mut remap = vec![u32::MAX; pool.len()];
+        let mut instrs: Vec<Instr> = Vec::new();
+        let mut memo: std::collections::HashMap<InstrKey, u32> =
+            std::collections::HashMap::new();
+        let mut source_nodes = 0usize;
+        let mut min_var_values = 0usize;
+        let mut intern = |instrs: &mut Vec<Instr>, instr: Instr| -> u32 {
+            // Constant folding: all-constant operands evaluate now. The
+            // arithmetic is the same f64 operation the forward pass would
+            // run, so folded values are bit-identical.
+            let cv = |s: u32| match instrs[s as usize] {
+                Instr::Const(c) => Some(c),
+                _ => None,
+            };
+            let folded = match instr {
+                Instr::Un(op, a) => cv(a).map(|a| eval_un(op, a)),
+                Instr::Bin(op, a, b) => {
+                    cv(a).zip(cv(b)).map(|(a, b)| eval_bin(op, a, b))
+                }
+                Instr::Cmp(op, a, b) => {
+                    cv(a).zip(cv(b)).map(|(a, b)| eval_cmp(op, a, b))
+                }
+                Instr::Select(c, t, e) => {
+                    cv(c).map(|c| if c != 0.0 { t } else { e }).and_then(cv)
+                }
+                Instr::Const(_) | Instr::Var(_) => None,
+            };
+            let instr = folded.map_or(instr, Instr::Const);
+            // Hash-cons CSE: reuse an existing slot for identical instrs.
+            *memo.entry(instr.key()).or_insert_with(|| {
+                instrs.push(instr);
+                (instrs.len() - 1) as u32
+            })
+        };
+        for (idx, node) in pool.nodes().iter().enumerate() {
+            if !needed[idx] {
+                continue;
+            }
+            source_nodes += 1;
+            let r = |e: ExprId| remap[e.index()];
+            let instr = match *node {
+                ENode::Const(b) => Instr::Const(f64::from_bits(b)),
+                ENode::Var(v) => {
+                    min_var_values = min_var_values.max(v.index() + 1);
+                    Instr::Var(v.0)
+                }
+                ENode::Un(op, a) => Instr::Un(op, r(a)),
+                ENode::Bin(op, a, b) => Instr::Bin(op, r(a), r(b)),
+                ENode::Cmp(op, a, b) => Instr::Cmp(op, r(a), r(b)),
+                ENode::Select(c, t, e) => Instr::Select(r(c), r(t), r(e)),
+            };
+            remap[idx] = intern(&mut instrs, instr);
+        }
+        let roots = roots.iter().map(|r| remap[r.index()]).collect();
+        CompiledGradTape { instrs, roots, source_nodes, min_var_values }
+    }
+
+    /// Number of tape instructions after folding and CSE.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Number of roots the tape evaluates.
+    pub fn n_roots(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Reachable pool nodes before folding/CSE (for observability).
+    pub fn source_nodes(&self) -> usize {
+        self.source_nodes
+    }
+
+    /// Minimum length the variable-value vector must have.
+    pub fn min_var_values(&self) -> usize {
+        self.min_var_values
+    }
+
+    /// Forward pass over a batch of `batch` lanes in structure-of-arrays
+    /// layout. `vars` holds variable values variable-major
+    /// (`vars[v * batch + lane]`); `vals` is resized to
+    /// `len() * batch` and filled slot-major (`vals[slot * batch + lane]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is shorter than `min_var_values() * batch` or
+    /// `batch` is zero with a non-empty tape.
+    pub fn forward_batch(&self, vars: &[f64], batch: usize, vals: &mut Vec<f64>) {
+        assert!(
+            vars.len() >= self.min_var_values * batch,
+            "need {} var lanes, got {}",
+            self.min_var_values * batch,
+            vars.len()
+        );
+        vals.clear();
+        vals.resize(self.instrs.len() * batch, 0.0);
+        // Per-op lane loops (instead of a per-lane op match) so the cheap
+        // arithmetic ops autovectorize across lanes.
+        macro_rules! map1 {
+            ($out:expr, $a:expr, $f:expr) => {
+                for (o, &x) in $out.iter_mut().zip($a) {
+                    *o = $f(x);
+                }
+            };
+        }
+        macro_rules! map2 {
+            ($out:expr, $a:expr, $b:expr, $f:expr) => {
+                for ((o, &x), &y) in $out.iter_mut().zip($a).zip($b) {
+                    *o = $f(x, y);
+                }
+            };
+        }
+        for (i, instr) in self.instrs.iter().enumerate() {
+            // Children always precede parents: slot i only reads slots < i.
+            let (head, tail) = vals.split_at_mut(i * batch);
+            let out = &mut tail[..batch];
+            let arg = |s: u32| &head[s as usize * batch..s as usize * batch + batch];
+            match *instr {
+                Instr::Const(c) => out.fill(c),
+                Instr::Var(v) => {
+                    out.copy_from_slice(&vars[v as usize * batch..][..batch]);
+                }
+                Instr::Un(op, a) => {
+                    let a = arg(a);
+                    match op {
+                        UnOp::Neg => map1!(out, a, |x: f64| -x),
+                        UnOp::Log => map1!(out, a, f64::ln),
+                        UnOp::Exp => map1!(out, a, f64::exp),
+                        UnOp::Sqrt => map1!(out, a, f64::sqrt),
+                        UnOp::Abs => map1!(out, a, f64::abs),
+                    }
+                }
+                Instr::Bin(op, a, b) => {
+                    let (a, b) = (arg(a), arg(b));
+                    match op {
+                        BinOp::Add => map2!(out, a, b, |x, y| x + y),
+                        BinOp::Sub => map2!(out, a, b, |x, y| x - y),
+                        BinOp::Mul => map2!(out, a, b, |x, y| x * y),
+                        BinOp::Div => map2!(out, a, b, |x, y| x / y),
+                        BinOp::Pow => map2!(out, a, b, f64::powf),
+                        BinOp::Min => map2!(out, a, b, f64::min),
+                        BinOp::Max => map2!(out, a, b, f64::max),
+                    }
+                }
+                Instr::Cmp(op, a, b) => {
+                    let (a, b) = (arg(a), arg(b));
+                    for ((o, &a), &b) in out.iter_mut().zip(a).zip(b) {
+                        *o = eval_cmp(op, a, b);
+                    }
+                }
+                Instr::Select(c, t, e) => {
+                    let (c, t, e) = (arg(c), arg(t), arg(e));
+                    for (l, o) in out.iter_mut().enumerate() {
+                        *o = if c[l] != 0.0 { t[l] } else { e[l] };
+                    }
+                }
+            }
+        }
+    }
+
+    /// Value of root `k` in lane `lane` of a [`Self::forward_batch`] result.
+    pub fn root_value(&self, vals: &[f64], batch: usize, k: usize, lane: usize) -> f64 {
+        vals[self.roots[k] as usize * batch + lane]
+    }
+
+    /// Copies one lane's root values (in root order) into `out`.
+    pub fn write_roots(&self, vals: &[f64], batch: usize, lane: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.roots.iter().map(|&r| vals[r as usize * batch + lane]));
+    }
+
+    /// Reverse adjoint pass over a [`Self::forward_batch`] result.
+    ///
+    /// `seeds` holds the adjoint seed of every root, root-major
+    /// (`seeds[k * batch + lane]`); `grad` is resized to
+    /// `n_vars * batch` (variable-major) and accumulates
+    /// `∂(Σ_k seed_k · root_k)/∂var` per lane. `adj` is scratch, reused
+    /// across calls without reallocation.
+    ///
+    /// Per lane, adjoints accumulate in reverse slot order with zero
+    /// adjoints skipped — bit-identical to
+    /// [`ExprPool::grad_multi_with_values`] and independent of `batch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GradError`] when a non-smooth instruction receives a
+    /// nonzero adjoint and `subgradient` is false (matching the pool
+    /// sweep's behaviour exactly).
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_batch(
+        &self,
+        seeds: &[f64],
+        batch: usize,
+        vals: &[f64],
+        n_vars: usize,
+        adj: &mut Vec<f64>,
+        grad: &mut Vec<f64>,
+        subgradient: bool,
+    ) -> Result<(), GradError> {
+        assert_eq!(vals.len(), self.instrs.len() * batch, "stale forward values");
+        adj.clear();
+        adj.resize(self.instrs.len() * batch, 0.0);
+        grad.clear();
+        grad.resize(n_vars * batch, 0.0);
+        for (k, &r) in self.roots.iter().enumerate() {
+            let seed = &seeds[k * batch..k * batch + batch];
+            let a = &mut adj[r as usize * batch..r as usize * batch + batch];
+            for (a, &s) in a.iter_mut().zip(seed) {
+                *a += s;
+            }
+        }
+        for (i, instr) in self.instrs.iter().enumerate().rev() {
+            let (head, tail) = adj.split_at_mut(i * batch);
+            let a_out = &tail[..batch];
+            // Skip instructions whose adjoint is zero in every lane (the
+            // common case for the penalty sub-DAG when no constraint is
+            // active); per-lane zeros are skipped inside the loops below.
+            if a_out.iter().all(|&a| a == 0.0) {
+                continue;
+            }
+            let val = |s: usize, l: usize| vals[s * batch + l];
+            // Per-op lane loops with pre-sliced value rows. Accumulation is
+            // expression-for-expression what the pool sweep computes (e.g.
+            // `-=` for a `+= a·(−1)` term), so results stay bit-identical.
+            match *instr {
+                Instr::Const(_) => {}
+                Instr::Var(v) => {
+                    let g = &mut grad[v as usize * batch..v as usize * batch + batch];
+                    for (g, &a) in g.iter_mut().zip(a_out) {
+                        if a != 0.0 {
+                            *g += a;
+                        }
+                    }
+                }
+                Instr::Un(op, ai) => {
+                    if op == UnOp::Abs && !subgradient {
+                        return Err(GradError { node: instr.as_enode() });
+                    }
+                    let s = ai as usize;
+                    let vc = &vals[s * batch..s * batch + batch];
+                    let vo = &vals[i * batch..i * batch + batch];
+                    let aa = &mut head[s * batch..s * batch + batch];
+                    macro_rules! acc1 {
+                        ($v:expr, $d:expr) => {
+                            for ((aa, &a), &v) in aa.iter_mut().zip(a_out).zip($v) {
+                                if a != 0.0 {
+                                    *aa += a * $d(v);
+                                }
+                            }
+                        };
+                    }
+                    match op {
+                        UnOp::Neg => {
+                            for (aa, &a) in aa.iter_mut().zip(a_out) {
+                                if a != 0.0 {
+                                    *aa -= a;
+                                }
+                            }
+                        }
+                        UnOp::Log => acc1!(vc, |v: f64| 1.0 / v),
+                        UnOp::Exp => acc1!(vo, |v: f64| v),
+                        UnOp::Sqrt => acc1!(vo, |v: f64| 0.5 / v),
+                        UnOp::Abs => {
+                            acc1!(vc, |v: f64| if v >= 0.0 { 1.0 } else { -1.0 })
+                        }
+                    }
+                }
+                Instr::Bin(op, ai, bi) => {
+                    if matches!(op, BinOp::Min | BinOp::Max) && !subgradient {
+                        return Err(GradError { node: instr.as_enode() });
+                    }
+                    let (ai, bi) = (ai as usize, bi as usize);
+                    let va = &vals[ai * batch..ai * batch + batch];
+                    let vb = &vals[bi * batch..bi * batch + batch];
+                    let vo = &vals[i * batch..i * batch + batch];
+                    macro_rules! acc2 {
+                        (|$l:ident, $a:ident| $body:block) => {
+                            for ($l, &$a) in a_out.iter().enumerate() {
+                                if $a == 0.0 {
+                                    continue;
+                                }
+                                $body
+                            }
+                        };
+                    }
+                    match op {
+                        BinOp::Add => acc2!(|l, a| {
+                            head[ai * batch + l] += a;
+                            head[bi * batch + l] += a;
+                        }),
+                        BinOp::Sub => acc2!(|l, a| {
+                            head[ai * batch + l] += a;
+                            head[bi * batch + l] -= a;
+                        }),
+                        BinOp::Mul => acc2!(|l, a| {
+                            head[ai * batch + l] += a * vb[l];
+                            head[bi * batch + l] += a * va[l];
+                        }),
+                        BinOp::Div => acc2!(|l, a| {
+                            head[ai * batch + l] += a * (1.0 / vb[l]);
+                            head[bi * batch + l] += a * (-va[l] / (vb[l] * vb[l]));
+                        }),
+                        BinOp::Pow => acc2!(|l, a| {
+                            // d/da a^b = b a^(b-1); d/db a^b = a^b ln a.
+                            let v = vo[l];
+                            let da =
+                                if va[l] == 0.0 { 0.0 } else { vb[l] * v / va[l] };
+                            let db = if va[l] > 0.0 { v * va[l].ln() } else { 0.0 };
+                            head[ai * batch + l] += a * da;
+                            head[bi * batch + l] += a * db;
+                        }),
+                        BinOp::Min | BinOp::Max => acc2!(|l, a| {
+                            let a_active = match op {
+                                BinOp::Min => va[l] <= vb[l],
+                                _ => va[l] >= vb[l],
+                            };
+                            let (da, db) =
+                                if a_active { (1.0, 0.0) } else { (0.0, 1.0) };
+                            head[ai * batch + l] += a * da;
+                            head[bi * batch + l] += a * db;
+                        }),
+                    }
+                }
+                Instr::Cmp(..) => {
+                    if !subgradient {
+                        return Err(GradError { node: instr.as_enode() });
+                    }
+                    // Piecewise-constant: zero gradient everywhere it exists.
+                }
+                Instr::Select(c, t, e) => {
+                    if !subgradient {
+                        return Err(GradError { node: instr.as_enode() });
+                    }
+                    let (c, t, e) = (c as usize, t as usize, e as usize);
+                    for (l, &a_out) in a_out.iter().enumerate() {
+                        if a_out == 0.0 {
+                            continue;
+                        }
+                        if val(c, l) != 0.0 {
+                            head[t * batch + l] += a_out;
+                        } else {
+                            head[e * batch + l] += a_out;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Single-point forward pass (batch of one): writes every slot value
+    /// into `vals` and returns nothing; read roots with
+    /// [`Self::write_roots`] or [`Self::root_value`].
+    pub fn forward(&self, var_values: &[f64], vals: &mut Vec<f64>) {
+        self.forward_batch(var_values, 1, vals);
+    }
+
+    /// Single-point convenience: evaluates all roots into a fresh vector.
+    pub fn eval(&self, var_values: &[f64]) -> Vec<f64> {
+        let mut vals = Vec::new();
+        self.forward(var_values, &mut vals);
+        let mut out = Vec::with_capacity(self.roots.len());
+        self.write_roots(&vals, 1, 0, &mut out);
+        out
+    }
+
+    /// Single-point gradient convenience: seeds every root and returns the
+    /// per-variable gradient (`n_vars` entries).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GradError`] as described on [`Self::backward_batch`].
+    pub fn grad(
+        &self,
+        seeds: &[f64],
+        var_values: &[f64],
+        n_vars: usize,
+        subgradient: bool,
+    ) -> Result<Vec<f64>, GradError> {
+        let mut vals = Vec::new();
+        self.forward(var_values, &mut vals);
+        let (mut adj, mut grad) = (Vec::new(), Vec::new());
+        self.backward_batch(seeds, 1, &vals, n_vars, &mut adj, &mut grad, subgradient)?;
+        Ok(grad)
+    }
+}
+
+fn eval_un(op: UnOp, a: f64) -> f64 {
+    match op {
+        UnOp::Neg => -a,
+        UnOp::Log => a.ln(),
+        UnOp::Exp => a.exp(),
+        UnOp::Sqrt => a.sqrt(),
+        UnOp::Abs => a.abs(),
+    }
+}
+
+fn eval_bin(op: BinOp, a: f64, b: f64) -> f64 {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Pow => a.powf(b),
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+    }
+}
+
+fn eval_cmp(op: CmpOp, a: f64, b: f64) -> f64 {
+    let r = match op {
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Eq => a == b,
+    };
+    if r {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autodiff::GradOptions;
+    use crate::VarTable;
+
+    fn example_pool() -> (ExprPool, Vec<ExprId>, usize) {
+        // f0 = log1p(x*y), f1 = sqrt(x) * exp(y/3), shared subterm x*y.
+        let mut vars = VarTable::new();
+        let vx = vars.fresh("x");
+        let vy = vars.fresh("y");
+        let mut p = ExprPool::new();
+        let x = p.var(vx);
+        let y = p.var(vy);
+        let xy = p.mul(x, y);
+        let f0 = p.log1p(xy);
+        let sx = p.sqrt(x);
+        let c3 = p.constf(3.0);
+        let y3 = p.div(y, c3);
+        let ey = p.exp(y3);
+        let f1 = p.mul(sx, ey);
+        let shared = p.add(f0, f1);
+        (p, vec![f0, f1, shared], vars.len())
+    }
+
+    #[test]
+    fn forward_matches_pool_bitwise() {
+        let (p, roots, _) = example_pool();
+        let tape = CompiledGradTape::compile(&p, &roots);
+        for at in [[2.0, 3.0], [0.5, 7.0], [9.0, 0.25]] {
+            let full = p.eval_all(&at);
+            let fast = tape.eval(&at);
+            for (k, &r) in roots.iter().enumerate() {
+                assert_eq!(fast[k].to_bits(), full[r.index()].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn backward_matches_pool_bitwise() {
+        let (p, roots, n_vars) = example_pool();
+        let tape = CompiledGradTape::compile(&p, &roots);
+        let at = [2.0, 3.0];
+        let seeds = [0.7, -1.3, 0.25];
+        let outputs: Vec<(ExprId, f64)> =
+            roots.iter().copied().zip(seeds.iter().copied()).collect();
+        let reference = p
+            .grad_multi(&outputs, &at, n_vars, GradOptions::default())
+            .unwrap();
+        let grad = tape.grad(&seeds, &at, n_vars, false).unwrap();
+        for (g, r) in grad.iter().zip(&reference.wrt_var) {
+            assert_eq!(g.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_lanes_match_single_bitwise() {
+        let (p, roots, n_vars) = example_pool();
+        let tape = CompiledGradTape::compile(&p, &roots);
+        let points = [[2.0, 3.0], [0.5, 7.0], [9.0, 0.25], [1.0, 1.0]];
+        let batch = points.len();
+        // vars_soa[v * batch + lane]
+        let mut vars_soa = vec![0.0; n_vars * batch];
+        for (lane, pt) in points.iter().enumerate() {
+            for (v, &x) in pt.iter().enumerate() {
+                vars_soa[v * batch + lane] = x;
+            }
+        }
+        let mut vals = Vec::new();
+        tape.forward_batch(&vars_soa, batch, &mut vals);
+        let seeds_one = [0.7, -1.3, 0.25];
+        let mut seeds = vec![0.0; roots.len() * batch];
+        for (k, &s) in seeds_one.iter().enumerate() {
+            for lane in 0..batch {
+                seeds[k * batch + lane] = s;
+            }
+        }
+        let (mut adj, mut grad) = (Vec::new(), Vec::new());
+        tape.backward_batch(&seeds, batch, &vals, n_vars, &mut adj, &mut grad, false)
+            .unwrap();
+        for (lane, pt) in points.iter().enumerate() {
+            let single_vals = tape.eval(pt);
+            let single_grad = tape.grad(&seeds_one, pt, n_vars, false).unwrap();
+            for (k, sv) in single_vals.iter().enumerate() {
+                assert_eq!(
+                    tape.root_value(&vals, batch, k, lane).to_bits(),
+                    sv.to_bits()
+                );
+            }
+            for (v, sg) in single_grad.iter().enumerate() {
+                assert_eq!(grad[v * batch + lane].to_bits(), sg.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn dce_drops_rewrite_debris() {
+        let mut vars = VarTable::new();
+        let vx = vars.fresh("x");
+        let mut p = ExprPool::new();
+        let x = p.var(vx);
+        let mut dead = x;
+        for i in 0..200 {
+            let c = p.constf(2.0 + i as f64);
+            dead = p.mul(dead, c);
+        }
+        let live = p.mul(x, x);
+        let tape = CompiledGradTape::compile(&p, &[live]);
+        assert!(tape.len() <= 2, "tape kept {} instrs", tape.len());
+        assert_eq!(tape.source_nodes(), tape.len());
+        assert!(p.len() > 200);
+        assert_eq!(tape.eval(&[3.0]), vec![9.0]);
+    }
+
+    #[test]
+    fn nonsmooth_errors_only_with_live_adjoint() {
+        let mut vars = VarTable::new();
+        let vx = vars.fresh("x");
+        let mut p = ExprPool::new();
+        let x = p.var(vx);
+        let c = p.constf(0.0);
+        let m = p.max(x, c);
+        let sq = p.mul(x, x);
+        let tape = CompiledGradTape::compile(&p, &[m, sq]);
+        // Seeding only the smooth root succeeds (max's adjoint stays zero)…
+        let g = tape.grad(&[0.0, 1.0], &[3.0], 1, false).unwrap();
+        assert_eq!(g[0], 6.0);
+        // …while seeding the max errors without subgradients,
+        let err = tape.grad(&[1.0, 0.0], &[3.0], 1, false);
+        assert!(format!("{}", err.unwrap_err()).contains("non-differentiable"));
+        // and routes to the active branch with them.
+        let g = tape.grad(&[1.0, 0.0], &[3.0], 1, true).unwrap();
+        assert_eq!(g[0], 1.0);
+        let g = tape.grad(&[1.0, 0.0], &[-3.0], 1, true).unwrap();
+        assert_eq!(g[0], 0.0);
+    }
+
+    #[test]
+    fn duplicate_roots_accumulate_seeds() {
+        let mut vars = VarTable::new();
+        let vx = vars.fresh("x");
+        let mut p = ExprPool::new();
+        let x = p.var(vx);
+        let sq = p.mul(x, x);
+        let tape = CompiledGradTape::compile(&p, &[sq, sq]);
+        assert_eq!(tape.n_roots(), 2);
+        let g = tape.grad(&[1.0, 2.0], &[5.0], 1, false).unwrap();
+        assert_eq!(g[0], 30.0); // (1+2) * 2x
+    }
+
+    #[test]
+    fn min_var_values_tracks_highest_var() {
+        let mut vars = VarTable::new();
+        let _v0 = vars.fresh("a");
+        let _v1 = vars.fresh("b");
+        let v2 = vars.fresh("c");
+        let mut p = ExprPool::new();
+        let x = p.var(v2);
+        let f = p.mul(x, x);
+        let tape = CompiledGradTape::compile(&p, &[f]);
+        assert_eq!(tape.min_var_values(), 3);
+        assert_eq!(tape.eval(&[0.0, 0.0, 4.0]), vec![16.0]);
+    }
+}

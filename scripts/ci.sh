@@ -7,3 +7,7 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Tape-equivalence smoke: asserts the compiled gradient tape is bit-identical
+# to the pool-walking objective oracle (no timing claims in CI).
+TUNER_BENCH_SMOKE=1 FELIX_FAST=1 cargo run -q --release -p felix-bench --bin tuner_bench
