@@ -103,8 +103,17 @@ impl Proposer for EvolutionaryProposer {
     ) -> Vec<(usize, Vec<f64>)> {
         let cfg = self.config;
         // --- Initial population: elites from history + random samples -----
+        // Quarantined sketches (persistent measurement failures) are skipped
+        // both when seeding elites and when sampling. With no quarantine the
+        // active list is the identity permutation, so the RNG stream matches
+        // the fault-unaware search exactly.
+        let active = task.active_sketches();
         let mut pop: Vec<(usize, Vec<f64>)> = Vec::with_capacity(cfg.population);
-        let mut elites: Vec<&(usize, Vec<f64>, f64)> = task.measured.iter().collect();
+        let mut elites: Vec<&(usize, Vec<f64>, f64)> = task
+            .measured
+            .iter()
+            .filter(|(sk, _, _)| !task.is_quarantined(*sk))
+            .collect();
         elites.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite latency"));
         let n_elite = ((cfg.population as f64 * cfg.elite_seed_frac) as usize)
             .min(elites.len());
@@ -112,7 +121,7 @@ impl Proposer for EvolutionaryProposer {
             pop.push((e.0, e.1.clone()));
         }
         while pop.len() < cfg.population {
-            let sk = rng.gen_range(0..task.sketches.len());
+            let sk = active[rng.gen_range(0..active.len())];
             let vals = random_schedule(&task.sketches[sk].program, rng, 32);
             pop.push((sk, vals));
         }
@@ -187,6 +196,23 @@ mod tests {
     use felix_sim::{DeviceConfig, Simulator};
     use rand::SeedableRng;
 
+    /// Pretraining dominates this suite's runtime, so every test shares one
+    /// deterministic pretrained model (tests only read it or clone it).
+    fn shared_model() -> &'static Mlp {
+        static MODEL: std::sync::OnceLock<Mlp> = std::sync::OnceLock::new();
+        MODEL.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(0);
+            let ds = felix_cost::generate_dataset(&DeviceConfig::a5000(), 6, 12, 5);
+            let mut mlp = Mlp::new(&mut rng);
+            felix_cost::pretrain(
+                &mut mlp,
+                &ds.samples,
+                &felix_cost::TrainConfig { epochs: 8, batch_size: 64, lr: 1e-3, seed: 0, ..Default::default() },
+            );
+            mlp
+        })
+    }
+
     fn setup() -> (SearchTask, Mlp, Simulator) {
         let sim = Simulator::new(DeviceConfig::a5000());
         let task = SearchTask::from_task(
@@ -196,15 +222,7 @@ mod tests {
             },
             &sim,
         );
-        let mut rng = StdRng::seed_from_u64(0);
-        let ds = felix_cost::generate_dataset(&DeviceConfig::a5000(), 8, 16, 5);
-        let mut mlp = Mlp::new(&mut rng);
-        felix_cost::pretrain(
-            &mut mlp,
-            &ds.samples,
-            &felix_cost::TrainConfig { epochs: 12, batch_size: 64, lr: 1e-3, seed: 0, ..Default::default() },
-        );
-        (task, mlp, sim)
+        (task, shared_model().clone(), sim)
     }
 
     fn small_cfg() -> EvolutionConfig {

@@ -18,7 +18,7 @@ use felix_graph::lower::lower_subgraph;
 use felix_graph::Task;
 use felix_sim::clock::ClockCosts;
 use felix_sim::vendor::hardware_params;
-use felix_sim::{Simulator, TuningClock};
+use felix_sim::{candidate_key, FaultKind, FaultPlan, MeasureOutcome, Simulator, TuningClock};
 use felix_tir::sketch::generate_sketches;
 use felix_tir::Program;
 use rand::rngs::StdRng;
@@ -74,12 +74,49 @@ pub struct SearchTask {
     /// All measurements `(sketch, values, latency_ms)`.
     pub measured: Vec<(usize, Vec<f64>, f64)>,
     /// Training samples of every measurement (replay buffer for the
-    /// cost-model updates).
+    /// cost-model updates). Failed measurements never enter this buffer.
     pub samples: Vec<Sample>,
+    /// Candidates whose measurement failed after exhausting retries:
+    /// `(sketch, values, fault kind)`. They count as "measured" for dedup
+    /// so the proposer never re-spends budget on them.
+    pub failed: Vec<(usize, Vec<f64>, FaultKind)>,
+    /// Failure/retry counters, consumed by the task scheduler to
+    /// deprioritize tasks burning their budget on faults.
+    pub fault_stats: TaskFaultStats,
     /// Dedup set of measured candidates.
     measured_keys: HashSet<String>,
+    /// Consecutive failed candidates per sketch (reset by any success).
+    fail_streak: Vec<usize>,
+    /// Sketches quarantined after persistent failures; proposers skip them
+    /// until a success on the sketch lifts the quarantine.
+    quarantined: Vec<bool>,
     /// Rounds spent on this task.
     pub rounds: usize,
+}
+
+/// Failure and retry counters of one task's measurement history.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TaskFaultStats {
+    /// Candidates lost to compile failures.
+    pub build_errors: usize,
+    /// Candidates lost to watchdog timeouts (after retries).
+    pub timeouts: usize,
+    /// Candidates lost to device/RPC errors (after retries).
+    pub device_errors: usize,
+    /// Total retry attempts spent (including ones that later succeeded).
+    pub retries: usize,
+}
+
+impl TaskFaultStats {
+    /// Total candidates lost to faults.
+    pub fn failures(&self) -> usize {
+        self.build_errors + self.timeouts + self.device_errors
+    }
+
+    /// Measurement-budget attempts wasted on faults (failures + retries).
+    pub fn wasted_attempts(&self) -> usize {
+        self.failures() + self.retries
+    }
 }
 
 impl SearchTask {
@@ -87,7 +124,7 @@ impl SearchTask {
     pub fn from_task(task: &Task, sim: &Simulator) -> Self {
         let hw = hardware_params(&sim.device);
         let p0 = lower_subgraph(&task.subgraph);
-        let sketches = generate_sketches(&p0, &hw)
+        let sketches: Vec<SketchState> = generate_sketches(&p0, &hw)
             .into_iter()
             .map(|sk| {
                 let mut program = sk.program;
@@ -97,6 +134,7 @@ impl SearchTask {
                 SketchState { name: sk.name, program, features, compiled }
             })
             .collect();
+        let n_sketches = sketches.len();
         SearchTask {
             name: task.subgraph.name(),
             weight: task.weight,
@@ -105,10 +143,18 @@ impl SearchTask {
             best_schedule: None,
             measured: Vec::new(),
             samples: Vec::new(),
+            failed: Vec::new(),
+            fault_stats: TaskFaultStats::default(),
             measured_keys: HashSet::new(),
+            fail_streak: vec![0; n_sketches],
+            quarantined: vec![false; n_sketches],
             rounds: 0,
         }
     }
+
+    /// Consecutive candidate failures on one sketch that trigger
+    /// quarantine.
+    pub const QUARANTINE_STREAK: usize = 6;
 
     fn key(sketch: usize, vals: &[f64]) -> String {
         format!("{sketch}:{vals:?}")
@@ -119,14 +165,61 @@ impl SearchTask {
         self.measured_keys.contains(&Self::key(sketch, vals))
     }
 
-    /// Records a measurement, updating the incumbent.
+    /// Records a measurement, updating the incumbent. A success also clears
+    /// the sketch's failure streak and lifts any quarantine (the fault was
+    /// evidently transient).
     pub fn record(&mut self, sketch: usize, vals: Vec<f64>, latency_ms: f64) {
         self.measured_keys.insert(Self::key(sketch, &vals));
         if latency_ms < self.best_latency_ms {
             self.best_latency_ms = latency_ms;
             self.best_schedule = Some((sketch, vals.clone()));
         }
+        if let Some(streak) = self.fail_streak.get_mut(sketch) {
+            *streak = 0;
+        }
+        if let Some(q) = self.quarantined.get_mut(sketch) {
+            *q = false;
+        }
         self.measured.push((sketch, vals, latency_ms));
+    }
+
+    /// Records a candidate whose measurement failed after exhausting its
+    /// retry budget. The candidate joins the dedup set (never re-proposed),
+    /// the per-kind counters advance, and a sketch whose candidates fail
+    /// [`Self::QUARANTINE_STREAK`] times in a row is quarantined.
+    pub fn record_failure(&mut self, sketch: usize, vals: Vec<f64>, kind: FaultKind) {
+        self.measured_keys.insert(Self::key(sketch, &vals));
+        match kind {
+            FaultKind::BuildError => self.fault_stats.build_errors += 1,
+            FaultKind::Timeout => self.fault_stats.timeouts += 1,
+            FaultKind::DeviceError => self.fault_stats.device_errors += 1,
+        }
+        if let Some(streak) = self.fail_streak.get_mut(sketch) {
+            *streak += 1;
+            if *streak >= Self::QUARANTINE_STREAK {
+                self.quarantined[sketch] = true;
+            }
+        }
+        self.failed.push((sketch, vals, kind));
+    }
+
+    /// Whether a sketch is currently quarantined.
+    pub fn is_quarantined(&self, sketch: usize) -> bool {
+        self.quarantined.get(sketch).copied().unwrap_or(false)
+    }
+
+    /// Indices of sketches proposers should draw from: every
+    /// non-quarantined sketch, or all sketches when everything is
+    /// quarantined (so a fully-faulted task still probes for recovery).
+    pub fn active_sketches(&self) -> Vec<usize> {
+        let active: Vec<usize> = (0..self.sketches.len())
+            .filter(|&i| !self.quarantined[i])
+            .collect();
+        if active.is_empty() {
+            (0..self.sketches.len()).collect()
+        } else {
+            active
+        }
     }
 }
 
@@ -165,13 +258,17 @@ pub struct TunerStats {
     /// objectives (paid once at objective build time; later rounds report
     /// the same amortized figure for cached objectives).
     pub tape_compile_s: f64,
+    /// Candidates lost to measurement faults this round (after retries).
+    pub measure_failures: usize,
+    /// Measurement retry attempts spent this round.
+    pub measure_retries: usize,
 }
 
 impl TunerStats {
     /// One-line human-readable rendering for bench binaries and logs.
     pub fn summary(&self) -> String {
         format!(
-            "steps {} ({:.0}/s, {} thr) cand {} viol {:.0}% dup {:.0}% cache {}/{} tape {}/{} nodes ({:.1} ms compile)",
+            "steps {} ({:.0}/s, {} thr) cand {} viol {:.0}% dup {:.0}% cache {}/{} tape {}/{} nodes ({:.1} ms compile) fail {} retry {}",
             self.grad_steps,
             self.steps_per_sec,
             self.threads,
@@ -183,6 +280,8 @@ impl TunerStats {
             self.tape_nodes,
             self.pool_nodes,
             self.tape_compile_s * 1e3,
+            self.measure_failures,
+            self.measure_retries,
         )
     }
 }
@@ -216,6 +315,53 @@ pub trait Proposer {
     fn take_prediction_trace(&mut self) -> Vec<f64> {
         Vec::new()
     }
+
+    /// Informs the proposer how the measurement of its last `propose` batch
+    /// went, so failure/retry counters can land in the same per-round stats
+    /// record as the search counters. Default: ignored.
+    fn note_measurement(&mut self, _report: &RoundReport) {}
+}
+
+/// Retry-with-backoff policy for failed measurements, charged against the
+/// tuning clock (a retried candidate costs real tuning time, exactly as a
+/// flaky device does in AutoTVM/MetaSchedule).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeasurePolicy {
+    /// Maximum retries per candidate after the first attempt (build errors
+    /// are never retried — rebuilding the same kernel cannot succeed).
+    pub max_retries: usize,
+    /// Backoff before the first retry, in simulated seconds.
+    pub backoff_s: f64,
+    /// Multiplier applied to the backoff after each retry (exponential
+    /// backoff).
+    pub backoff_mult: f64,
+}
+
+impl Default for MeasurePolicy {
+    fn default() -> Self {
+        MeasurePolicy { max_retries: 2, backoff_s: 0.5, backoff_mult: 2.0 }
+    }
+}
+
+impl MeasurePolicy {
+    /// Backoff before retry number `retry` (0-based), in seconds.
+    pub fn backoff_for(&self, retry: usize) -> f64 {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+        {
+            self.backoff_s * self.backoff_mult.powi(retry as i32)
+        }
+    }
+}
+
+/// What one call of [`tune_task_round`] did with its measurement budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundReport {
+    /// Candidates measured successfully.
+    pub measured: usize,
+    /// Candidates lost to faults after exhausting retries.
+    pub failed: usize,
+    /// Retry attempts spent (including retries that eventually succeeded).
+    pub retries: usize,
 }
 
 /// Options of the round-based tuner.
@@ -229,6 +375,12 @@ pub struct TuneOptions {
     pub fine_tune_epochs: usize,
     /// Fine-tuning learning rate.
     pub fine_tune_lr: f32,
+    /// Fault injection applied to measurements (zero by default; with the
+    /// zero plan the whole pipeline is byte-identical to one without the
+    /// fault layer).
+    pub fault_plan: FaultPlan,
+    /// Retry/backoff policy for failed measurements.
+    pub measure_policy: MeasurePolicy,
 }
 
 impl Default for TuneOptions {
@@ -238,12 +390,15 @@ impl Default for TuneOptions {
             update_model: true,
             fine_tune_epochs: 5,
             fine_tune_lr: 4e-4,
+            fault_plan: FaultPlan::none(),
+            measure_policy: MeasurePolicy::default(),
         }
     }
 }
 
-/// Runs one tuning round on a task: propose → measure → update model
-/// (Algorithm 1). Returns the number of new measurements.
+/// Runs one tuning round on a task: propose → measure (with retry/backoff
+/// on transient faults) → update model (Algorithm 1). Returns what happened
+/// to the measurement budget.
 #[allow(clippy::too_many_arguments)]
 pub fn tune_task_round(
     task: &mut SearchTask,
@@ -254,10 +409,10 @@ pub fn tune_task_round(
     costs: &ClockCosts,
     opts: &TuneOptions,
     rng: &mut StdRng,
-) -> usize {
+) -> RoundReport {
     let candidates = proposer.propose(task, model, opts.measurements_per_round, clock, costs, rng);
     let mut new_samples = Vec::new();
-    let mut measured = 0;
+    let mut report = RoundReport::default();
     for (sketch, vals) in candidates {
         if task.already_measured(sketch, &vals) {
             continue;
@@ -266,15 +421,59 @@ pub fn tune_task_round(
         if !st.program.constraints_ok(&vals, 1e-9) {
             continue;
         }
-        clock.charge_measurement(sim.device.rpc, costs);
-        let latency = sim.measure(&st.program, &st.features, &vals, rng);
-        let raw = st.features.eval(&st.program, &vals);
-        new_samples.push(Sample {
-            logfeats: log_transform(&raw),
-            score: latency_to_score(latency),
-        });
-        task.record(sketch, vals, latency);
-        measured += 1;
+        // Attempt loop: transient faults (timeouts, device errors) are
+        // retried up to the policy bound with exponential backoff; build
+        // errors are deterministic and fail immediately. Every attempt —
+        // successful, failed, or retried — is charged to the tuning clock.
+        // With a zero-rate plan this loop runs exactly one iteration and
+        // consumes the measurement RNG and clock identically to the
+        // fault-free pipeline.
+        let key = candidate_key(sketch, &vals);
+        let mut attempt = 0u32;
+        let fate = loop {
+            let outcome = sim.measure_outcome(
+                &st.program,
+                &st.features,
+                &vals,
+                rng,
+                &opts.fault_plan,
+                key,
+                attempt,
+            );
+            match outcome {
+                MeasureOutcome::Ok(latency) => {
+                    clock.charge_measurement(sim.device.rpc, costs);
+                    break Ok(latency);
+                }
+                MeasureOutcome::Fail(kind) => {
+                    clock.charge_failed_measurement(kind, sim.device.rpc, costs);
+                    let retries_spent = attempt as usize;
+                    if kind.retryable() && retries_spent < opts.measure_policy.max_retries {
+                        clock.advance(opts.measure_policy.backoff_for(retries_spent));
+                        report.retries += 1;
+                        task.fault_stats.retries += 1;
+                        attempt += 1;
+                        continue;
+                    }
+                    break Err(kind);
+                }
+            }
+        };
+        match fate {
+            Ok(latency) => {
+                let raw = st.features.eval(&st.program, &vals);
+                new_samples.push(Sample {
+                    logfeats: log_transform(&raw),
+                    score: latency_to_score(latency),
+                });
+                task.record(sketch, vals, latency);
+                report.measured += 1;
+            }
+            Err(kind) => {
+                task.record_failure(sketch, vals, kind);
+                report.failed += 1;
+            }
+        }
     }
     if opts.update_model && !new_samples.is_empty() {
         let n_new = new_samples.len();
@@ -291,7 +490,8 @@ pub fn tune_task_round(
         clock.charge_model_update(costs);
     }
     task.rounds += 1;
-    measured
+    proposer.note_measurement(&report);
+    report
 }
 
 /// A point on a tuning curve: simulated seconds vs. network latency in ms.
@@ -312,6 +512,8 @@ pub struct NetworkTuneResult {
     pub task_latencies: Vec<f64>,
     /// Final end-to-end latency (ms).
     pub final_latency_ms: f64,
+    /// Per-round measurement reports, in execution order.
+    pub round_reports: Vec<RoundReport>,
 }
 
 /// End-to-end latency = Σ weight × best task latency (+ launch gaps folded
@@ -332,11 +534,17 @@ pub fn select_next_task(tasks: &[SearchTask]) -> usize {
         return i;
     }
     // Then: the task with the biggest expected payoff, weighted by both its
-    // share of network latency and how stale its incumbent is.
+    // share of network latency and how stale its incumbent is. Tasks that
+    // burn their measurement budget on faults are deprioritized in
+    // proportion to the fraction of attempts they waste — a fault-free task
+    // divides by exactly 1.0, keeping the schedule byte-identical to the
+    // fault-unaware scheduler.
     let mut best = 0;
     let mut best_score = f64::NEG_INFINITY;
     for (i, t) in tasks.iter().enumerate() {
-        let score = t.weight as f64 * t.best_latency_ms / (t.rounds as f64).sqrt();
+        let wasted = t.fault_stats.wasted_attempts() as f64;
+        let fault_penalty = 1.0 + wasted / (t.measured.len() as f64 + 1.0);
+        let score = t.weight as f64 * t.best_latency_ms / (t.rounds as f64).sqrt() / fault_penalty;
         if score > best_score {
             best_score = score;
             best = i;
@@ -360,9 +568,12 @@ pub fn tune_network(
     rng: &mut StdRng,
 ) -> NetworkTuneResult {
     let mut curve = Vec::with_capacity(n_rounds);
+    let mut round_reports = Vec::with_capacity(n_rounds);
     for _ in 0..n_rounds {
         let next = select_next_task(tasks);
-        tune_task_round(&mut tasks[next], proposer, model, sim, clock, costs, opts, rng);
+        let report =
+            tune_task_round(&mut tasks[next], proposer, model, sim, clock, costs, opts, rng);
+        round_reports.push(report);
         if tasks.iter().all(|t| t.best_latency_ms.is_finite()) {
             curve.push(CurvePoint { time_s: clock.now_s(), latency_ms: network_latency(tasks) });
         }
@@ -372,6 +583,7 @@ pub fn tune_network(
         final_latency_ms: network_latency(tasks),
         curve,
         task_latencies,
+        round_reports,
     }
 }
 
@@ -394,9 +606,13 @@ impl Proposer for RandomProposer {
         _costs: &ClockCosts,
         rng: &mut StdRng,
     ) -> Vec<(usize, Vec<f64>)> {
+        // Draw sketches from the non-quarantined set. With nothing
+        // quarantined `active` is the identity list, so the RNG stream is
+        // exactly the fault-free one.
+        let active = task.active_sketches();
         (0..n)
             .map(|_| {
-                let sk = rng.gen_range(0..task.sketches.len());
+                let sk = active[rng.gen_range(0..active.len())];
                 let vals =
                     felix_cost::random_schedule(&task.sketches[sk].program, rng, 64);
                 (sk, vals)

@@ -163,6 +163,7 @@ fn run_with_proposer(
         curve: Vec::new(),
         task_latencies: Vec::new(),
         final_latency_ms: f64::INFINITY,
+        round_reports: Vec::new(),
     };
     let mut rounds_done = 0;
     while clock.now_s() < budget_s && rounds_done < round_cap {
@@ -173,6 +174,7 @@ fn run_with_proposer(
         result.curve.extend(chunk.curve);
         result.task_latencies = chunk.task_latencies;
         result.final_latency_ms = chunk.final_latency_ms;
+        result.round_reports.extend(chunk.round_reports);
         rounds_done += 1;
     }
     result

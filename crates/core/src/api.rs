@@ -7,8 +7,9 @@ use felix_ansor::{
 };
 use felix_cost::{generate_dataset, pretrain, Mlp, TrainConfig};
 use felix_graph::{partition, Graph, Task};
+use felix_ansor::MeasurePolicy;
 use felix_sim::clock::ClockCosts;
-use felix_sim::{DeviceConfig, Simulator, TuningClock};
+use felix_sim::{DeviceConfig, FaultPlan, Simulator, TuningClock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,10 +30,18 @@ pub fn extract_subgraphs(graph: &Graph) -> Vec<Task> {
 
 /// Returns a cost model pretrained for the target device, as
 /// `felix.pretrained_cost_model` does in Fig. 5. Training is deterministic
-/// per device + quality.
+/// per device + quality, and the result is memoized per (device, quality)
+/// within a process — repeated calls (test suites, examples looping over
+/// devices) pay the pretraining cost once.
 pub fn pretrained_cost_model(device: &DeviceConfig, quality: ModelQuality) -> Mlp {
+    use std::sync::Mutex;
+    static CACHE: Mutex<Vec<((&'static str, ModelQuality), Mlp)>> = Mutex::new(Vec::new());
+    let key = (device.name, quality);
+    if let Some((_, m)) = CACHE.lock().expect("model cache").iter().find(|(k, _)| *k == key) {
+        return m.clone();
+    }
     let (n_workloads, schedules, epochs) = match quality {
-        ModelQuality::Fast => (12, 24, 18),
+        ModelQuality::Fast => (6, 12, 10),
         ModelQuality::Full => (120, 96, 40),
     };
     let ds = generate_dataset(device, n_workloads, schedules, 0xFE11C5);
@@ -44,6 +53,7 @@ pub fn pretrained_cost_model(device: &DeviceConfig, quality: ModelQuality) -> Ml
         &train,
         &TrainConfig { epochs, batch_size: 128, lr: 7e-4, seed: 1, ..Default::default() },
     );
+    CACHE.lock().expect("model cache").push((key, mlp.clone()));
     mlp
 }
 
@@ -57,6 +67,8 @@ pub struct Optimizer {
     costs: ClockCosts,
     proposer: GradientProposer,
     rng: StdRng,
+    fault_plan: FaultPlan,
+    measure_policy: MeasurePolicy,
     /// Curve of (time, latency) across all rounds run so far.
     pub history: Vec<felix_ansor::CurvePoint>,
     /// Per-round tuner observability records, accumulated across all
@@ -87,9 +99,25 @@ impl Optimizer {
             costs: ClockCosts::default(),
             proposer: GradientProposer::new(options),
             rng: StdRng::seed_from_u64(0xF311),
+            fault_plan: FaultPlan::none(),
+            measure_policy: MeasurePolicy::default(),
             history: Vec::new(),
             stats: Vec::new(),
         }
+    }
+
+    /// Injects measurement faults during tuning (testing / chaos runs). The
+    /// default zero-rate plan leaves every result byte-identical to an
+    /// optimizer without a fault layer.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Overrides the retry/backoff policy applied to failed measurements.
+    pub fn with_measure_policy(mut self, policy: MeasurePolicy) -> Self {
+        self.measure_policy = policy;
+        self
     }
 
     /// The tuning tasks.
@@ -111,6 +139,8 @@ impl Optimizer {
     ) -> NetworkTuneResult {
         let opts = TuneOptions {
             measurements_per_round: measure_per_round,
+            fault_plan: self.fault_plan,
+            measure_policy: self.measure_policy,
             ..Default::default()
         };
         let res = tune_network(

@@ -255,7 +255,6 @@ impl Proposer for GradientProposer {
             threads,
             &mut stats,
         );
-        let n_sketches = task.sketches.len();
 
         // --- Seed initialization -------------------------------------------
         // Warm-start half the seeds from the best schedules measured in
@@ -264,7 +263,16 @@ impl Proposer for GradientProposer {
         // draws. Exploration slots use per-slot StdRng streams whose seeds
         // are drawn from the master RNG serially, so slot initialization can
         // run on the pool without perturbing any other random draw.
-        let mut elites: Vec<&(usize, Vec<f64>, f64)> = task.measured.iter().collect();
+        // Quarantined sketches (persistent measurement failures) are skipped
+        // by warm starts and exploration slots. With nothing quarantined the
+        // active list is the identity permutation, so every RNG draw matches
+        // the fault-unaware search bit for bit.
+        let active = task.active_sketches();
+        let mut elites: Vec<&(usize, Vec<f64>, f64)> = task
+            .measured
+            .iter()
+            .filter(|(sk, _, _)| !task.is_quarantined(*sk))
+            .collect();
         elites.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite latency"));
         let n_warm = (opts.n_seeds / 2).min(elites.len());
         let mut seeds: Vec<Seed> = Vec::with_capacity(opts.n_seeds);
@@ -274,7 +282,7 @@ impl Proposer for GradientProposer {
             seeds.push(Seed { sketch: e.0, y, opt: AdamOpt::new(nv, opts.lr) });
         }
         let slots: Vec<(usize, u64)> = (seeds.len()..opts.n_seeds)
-            .map(|i| (i % n_sketches, rng.gen::<u64>()))
+            .map(|i| (active[i % active.len()], rng.gen::<u64>()))
             .collect();
         let inits: Vec<Vec<f64>> = parallel_map(slots.len(), threads, |j| {
             let (sketch, stream) = slots[j];
@@ -452,6 +460,16 @@ impl Proposer for GradientProposer {
     fn take_stats(&mut self) -> Vec<TunerStats> {
         std::mem::take(&mut self.stats)
     }
+
+    fn note_measurement(&mut self, report: &felix_ansor::RoundReport) {
+        // Fold the measurement outcome into the stats record `propose`
+        // pushed for this round, so one `TunerStats` entry tells the whole
+        // story of the round (search counters + fault counters).
+        if let Some(stats) = self.stats.last_mut() {
+            stats.measure_failures = report.failed;
+            stats.measure_retries = report.retries;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -462,6 +480,23 @@ mod tests {
     use felix_graph::{Op, Subgraph, Task};
     use felix_sim::{DeviceConfig, Simulator};
 
+    /// Pretraining dominates this suite's runtime, so every test shares one
+    /// deterministic pretrained model (tests only read it or clone it).
+    fn shared_model() -> &'static Mlp {
+        static MODEL: std::sync::OnceLock<Mlp> = std::sync::OnceLock::new();
+        MODEL.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(0);
+            let ds = generate_dataset(&DeviceConfig::a5000(), 6, 14, 5);
+            let mut mlp = Mlp::new(&mut rng);
+            pretrain(
+                &mut mlp,
+                &ds.samples,
+                &TrainConfig { epochs: 10, batch_size: 64, lr: 1e-3, seed: 0, ..Default::default() },
+            );
+            mlp
+        })
+    }
+
     fn setup() -> (SearchTask, Mlp, Simulator) {
         let sim = Simulator::new(DeviceConfig::a5000());
         let task = SearchTask::from_task(
@@ -471,15 +506,7 @@ mod tests {
             },
             &sim,
         );
-        let mut rng = StdRng::seed_from_u64(0);
-        let ds = generate_dataset(&DeviceConfig::a5000(), 10, 24, 5);
-        let mut mlp = Mlp::new(&mut rng);
-        pretrain(
-            &mut mlp,
-            &ds.samples,
-            &TrainConfig { epochs: 18, batch_size: 64, lr: 1e-3, seed: 0, ..Default::default() },
-        );
-        (task, mlp, sim)
+        (task, shared_model().clone(), sim)
     }
 
     fn quick_opts() -> FelixOptions {

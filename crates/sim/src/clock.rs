@@ -33,6 +33,8 @@ pub struct ClockCosts {
     pub evolve_s: f64,
     /// Seconds to fine-tune the cost model on one round of measurements.
     pub model_update_s: f64,
+    /// Watchdog budget burned by a timed-out run before it is killed.
+    pub timeout_s: f64,
 }
 
 impl Default for ClockCosts {
@@ -46,6 +48,7 @@ impl Default for ClockCosts {
             grad_step_s: 220e-6,
             evolve_s: 12e-6,
             model_update_s: 1.2,
+            timeout_s: 1.0,
         }
     }
 }
@@ -102,6 +105,34 @@ impl TuningClock {
     pub fn charge_model_update(&mut self, costs: &ClockCosts) {
         self.now_s += costs.model_update_s;
     }
+
+    /// Charges one *failed* measurement attempt. Failures are not free:
+    /// a build error burns the compile; a timeout burns compile plus the
+    /// full watchdog budget; a device error burns compile plus the run that
+    /// errored out. RPC transport is paid whenever the device was reached.
+    pub fn charge_failed_measurement(
+        &mut self,
+        kind: crate::fault::FaultKind,
+        rpc: bool,
+        costs: &ClockCosts,
+    ) {
+        use crate::fault::FaultKind;
+        match kind {
+            FaultKind::BuildError => self.now_s += costs.compile_s,
+            FaultKind::Timeout => {
+                self.now_s += costs.compile_s + costs.timeout_s;
+                if rpc {
+                    self.now_s += costs.rpc_s;
+                }
+            }
+            FaultKind::DeviceError => {
+                self.now_s += costs.compile_s + costs.run_s;
+                if rpc {
+                    self.now_s += costs.rpc_s;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +160,25 @@ mod tests {
         batched.charge_batched_predictions(1000, &costs);
         assert!(batched.now_s() > 0.0);
         assert!(batched.now_s() < scalar.now_s());
+    }
+
+    #[test]
+    fn failed_measurements_burn_time() {
+        use crate::fault::FaultKind;
+        let costs = ClockCosts::default();
+        let mut build = TuningClock::new();
+        build.charge_failed_measurement(FaultKind::BuildError, false, &costs);
+        assert_eq!(build.now_s(), costs.compile_s);
+        let mut timeout = TuningClock::new();
+        timeout.charge_failed_measurement(FaultKind::Timeout, false, &costs);
+        assert_eq!(timeout.now_s(), costs.compile_s + costs.timeout_s);
+        let mut dev = TuningClock::new();
+        dev.charge_failed_measurement(FaultKind::DeviceError, true, &costs);
+        assert_eq!(dev.now_s(), costs.compile_s + costs.run_s + costs.rpc_s);
+        // A timeout wastes more than a clean measurement.
+        let mut ok = TuningClock::new();
+        ok.charge_measurement(false, &costs);
+        assert!(timeout.now_s() > ok.now_s());
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! Fault injection for the measurement pipeline.
+//!
+//! Real autotuning stacks lose a substantial fraction of their hardware
+//! budget to failed measurements: candidate kernels that do not compile
+//! (invalid shared-memory layouts, register over-allocation the compiler
+//! rejects), runs that hit the watchdog timeout, and flaky devices —
+//! especially edge boards driven over RPC, where the transport itself drops
+//! connections. AutoTVM and MetaSchedule both record such candidates as
+//! errors and keep tuning. This module gives the simulator the same failure
+//! surface, deterministically.
+//!
+//! A [`FaultPlan`] decides, for a given candidate and attempt, whether the
+//! measurement fails and how. Decisions are **pure hash functions** of
+//! `(plan seed, candidate key, attempt)` — no state, and crucially **no
+//! draws from the measurement RNG** — so:
+//!
+//! - a zero-rate plan leaves every RNG stream, clock charge, and measured
+//!   latency byte-identical to a pipeline with no fault layer at all;
+//! - the same plan replays the same faults on the same candidates at every
+//!   thread count, which keeps the tuner's serial/parallel bit-identity
+//!   guarantee intact under injected chaos;
+//! - *persistent* faults (hashed without the attempt index) fail every
+//!   retry, while *transient* faults (hashed with it) can clear on retry —
+//!   exactly the split a retry-with-backoff policy needs to be tested
+//!   against.
+
+use crate::DeviceConfig;
+
+/// How a measurement failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// The candidate kernel failed to compile. Deterministic for a given
+    /// candidate: retrying the same build cannot succeed.
+    BuildError,
+    /// The run exceeded the watchdog timeout.
+    Timeout,
+    /// The device (or its RPC transport) errored mid-run.
+    DeviceError,
+}
+
+impl FaultKind {
+    /// Short label for logs and stats.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::BuildError => "build-error",
+            FaultKind::Timeout => "timeout",
+            FaultKind::DeviceError => "device-error",
+        }
+    }
+
+    /// Whether a retry of the same candidate can ever help. Build errors
+    /// are deterministic compiler rejections; timeouts and device errors
+    /// may be transient.
+    pub fn retryable(self) -> bool {
+        !matches!(self, FaultKind::BuildError)
+    }
+}
+
+/// The result of one measurement attempt.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum MeasureOutcome {
+    /// The run succeeded with this latency in milliseconds.
+    Ok(f64),
+    /// The run failed.
+    Fail(FaultKind),
+}
+
+impl MeasureOutcome {
+    /// The latency if the measurement succeeded.
+    pub fn latency_ms(self) -> Option<f64> {
+        match self {
+            MeasureOutcome::Ok(l) => Some(l),
+            MeasureOutcome::Fail(_) => None,
+        }
+    }
+
+    /// Whether the measurement succeeded.
+    pub fn is_ok(self) -> bool {
+        matches!(self, MeasureOutcome::Ok(_))
+    }
+}
+
+/// Deterministic fault-injection rates for the measurement pipeline.
+///
+/// All rates are probabilities in `[0, 1]` evaluated per candidate (or per
+/// attempt, for the transient share). [`FaultPlan::none`] — the default —
+/// injects nothing and is the byte-identity configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the injection hash; two plans with different seeds fail
+    /// different candidates at the same rates.
+    pub seed: u64,
+    /// Probability a candidate fails to build (always persistent).
+    pub build_error_rate: f64,
+    /// Probability an attempt times out.
+    pub timeout_rate: f64,
+    /// Probability an attempt hits a device error.
+    pub device_error_rate: f64,
+    /// Extra device-error probability on RPC-driven devices
+    /// ([`DeviceConfig::rpc`]), modelling transport flakiness on edge
+    /// boards.
+    pub rpc_flakiness: f64,
+    /// Fraction of injected timeouts/device errors that are *persistent*
+    /// (pinned to the candidate, surviving every retry) rather than
+    /// transient (re-rolled per attempt).
+    pub persistent_frac: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultPlan {
+    /// No injection at all: every measurement behaves exactly as if the
+    /// fault layer did not exist.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            build_error_rate: 0.0,
+            timeout_rate: 0.0,
+            device_error_rate: 0.0,
+            rpc_flakiness: 0.0,
+            persistent_frac: 0.0,
+        }
+    }
+
+    /// A chaos preset failing roughly `rate` of attempts, split across the
+    /// three failure classes, with a quarter of run-time faults persistent
+    /// and extra RPC flakiness.
+    pub fn chaos(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            build_error_rate: rate * 0.3,
+            timeout_rate: rate * 0.4,
+            device_error_rate: rate * 0.3,
+            rpc_flakiness: rate * 0.5,
+            persistent_frac: 0.25,
+        }
+    }
+
+    /// Whether this plan can ever inject a fault.
+    pub fn is_zero(&self) -> bool {
+        self.build_error_rate <= 0.0
+            && self.timeout_rate <= 0.0
+            && self.device_error_rate <= 0.0
+            && self.rpc_flakiness <= 0.0
+    }
+
+    /// The effective device-error rate on `device` (RPC devices add the
+    /// flakiness surcharge).
+    pub fn device_rate_on(&self, device: &DeviceConfig) -> f64 {
+        self.device_error_rate + if device.rpc { self.rpc_flakiness } else { 0.0 }
+    }
+
+    /// Decides the fate of measurement `attempt` of the candidate
+    /// identified by `key` on `device`. Returns `None` when the attempt
+    /// should succeed.
+    ///
+    /// Candidate identity should come from [`candidate_key`] so the same
+    /// schedule always maps to the same fault fate within a plan.
+    pub fn fault_for(&self, device: &DeviceConfig, key: u64, attempt: u32) -> Option<FaultKind> {
+        if self.is_zero() {
+            return None;
+        }
+        let device_rate = self.device_rate_on(device);
+        // Stage 1 — persistent faults, hashed without the attempt index so
+        // they reproduce on every retry. Build errors are always
+        // persistent; a `persistent_frac` share of the run-time faults is
+        // pinned to the candidate too.
+        let u = unit_hash(self.seed ^ 0x9E37_79B9_7F4A_7C15, key, 0);
+        let p_build = self.build_error_rate;
+        let p_pers_timeout = self.persistent_frac * self.timeout_rate;
+        let p_pers_device = self.persistent_frac * device_rate;
+        if u < p_build {
+            return Some(FaultKind::BuildError);
+        }
+        if u < p_build + p_pers_timeout {
+            return Some(FaultKind::Timeout);
+        }
+        if u < p_build + p_pers_timeout + p_pers_device {
+            return Some(FaultKind::DeviceError);
+        }
+        // Stage 2 — transient faults, hashed with the attempt index so a
+        // retry re-rolls them independently.
+        let v = unit_hash(self.seed ^ 0xC2B2_AE3D_27D4_EB4F, key, attempt + 1);
+        let p_trans_timeout = (1.0 - self.persistent_frac) * self.timeout_rate;
+        let p_trans_device = (1.0 - self.persistent_frac) * device_rate;
+        if v < p_trans_timeout {
+            return Some(FaultKind::Timeout);
+        }
+        if v < p_trans_timeout + p_trans_device {
+            return Some(FaultKind::DeviceError);
+        }
+        None
+    }
+}
+
+/// A stable identity for a candidate schedule `(sketch, values)`, suitable
+/// as the `key` of [`FaultPlan::fault_for`]. Values are hashed by their
+/// exact bit patterns, so two schedules are "the same candidate" iff the
+/// tuner's own dedup would treat them as equal.
+pub fn candidate_key(sketch: usize, values: &[f64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3); // FNV prime
+    };
+    mix(sketch as u64);
+    for v in values {
+        mix(v.to_bits());
+    }
+    h
+}
+
+/// Maps `(seed, key, attempt)` to a uniform value in `[0, 1)` via a
+/// splitmix64-style finalizer. Pure and allocation-free.
+fn unit_hash(seed: u64, key: u64, attempt: u32) -> f64 {
+    let mut z = seed
+        .wrapping_add(key.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    // 53 high bits -> [0, 1).
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(rate: f64) -> FaultPlan {
+        FaultPlan::chaos(42, rate)
+    }
+
+    #[test]
+    fn zero_plan_never_faults() {
+        let p = FaultPlan::none();
+        let dev = DeviceConfig::a5000();
+        assert!(p.is_zero());
+        for key in 0..1000u64 {
+            assert_eq!(p.fault_for(&dev, key, 0), None);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let p = plan(0.3);
+        let dev = DeviceConfig::xavier_nx();
+        for key in 0..200u64 {
+            for attempt in 0..4u32 {
+                assert_eq!(
+                    p.fault_for(&dev, key, attempt),
+                    p.fault_for(&dev, key, attempt),
+                    "key {key} attempt {attempt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observed_rates_match_configuration() {
+        let p = plan(0.2);
+        let dev = DeviceConfig::a5000();
+        let n = 20_000u64;
+        let mut fails = 0usize;
+        let mut builds = 0usize;
+        for key in 0..n {
+            match p.fault_for(&dev, key, 0) {
+                Some(FaultKind::BuildError) => {
+                    builds += 1;
+                    fails += 1;
+                }
+                Some(_) => fails += 1,
+                None => {}
+            }
+        }
+        let total_rate = fails as f64 / n as f64;
+        let build_rate = builds as f64 / n as f64;
+        // ~20% total, ~6% build errors (0.2 * 0.3).
+        assert!((total_rate - 0.2).abs() < 0.02, "total {total_rate}");
+        assert!((build_rate - 0.06).abs() < 0.01, "build {build_rate}");
+    }
+
+    #[test]
+    fn build_errors_persist_across_attempts() {
+        let p = plan(0.4);
+        let dev = DeviceConfig::a5000();
+        let mut seen = 0;
+        for key in 0..2000u64 {
+            if p.fault_for(&dev, key, 0) == Some(FaultKind::BuildError) {
+                seen += 1;
+                for attempt in 1..6u32 {
+                    assert_eq!(
+                        p.fault_for(&dev, key, attempt),
+                        Some(FaultKind::BuildError),
+                        "build error must persist (key {key})"
+                    );
+                }
+            }
+        }
+        assert!(seen > 50, "expected many build errors, saw {seen}");
+    }
+
+    #[test]
+    fn transient_faults_clear_on_retry() {
+        let p = FaultPlan {
+            seed: 7,
+            build_error_rate: 0.0,
+            timeout_rate: 0.3,
+            device_error_rate: 0.0,
+            rpc_flakiness: 0.0,
+            persistent_frac: 0.0,
+        };
+        let dev = DeviceConfig::a5000();
+        let mut cleared = 0;
+        let mut faulted = 0;
+        for key in 0..2000u64 {
+            if p.fault_for(&dev, key, 0).is_some() {
+                faulted += 1;
+                if (1..4).any(|a| p.fault_for(&dev, key, a).is_none()) {
+                    cleared += 1;
+                }
+            }
+        }
+        assert!(faulted > 300, "expected timeouts, saw {faulted}");
+        // With a 30% transient rate, ~97% clear within 3 retries.
+        assert!(
+            cleared * 10 > faulted * 8,
+            "most transient faults must clear on retry: {cleared}/{faulted}"
+        );
+    }
+
+    #[test]
+    fn rpc_devices_are_flakier() {
+        let p = plan(0.2);
+        let local = DeviceConfig::a5000();
+        let edge = DeviceConfig::xavier_nx();
+        assert!(p.device_rate_on(&edge) > p.device_rate_on(&local));
+        let count = |dev: &DeviceConfig| {
+            (0..20_000u64)
+                .filter(|&k| matches!(p.fault_for(dev, k, 0), Some(FaultKind::DeviceError)))
+                .count()
+        };
+        assert!(count(&edge) > count(&local) * 2, "rpc flakiness must show up");
+    }
+
+    #[test]
+    fn candidate_key_separates_candidates() {
+        let a = candidate_key(0, &[1.0, 2.0, 4.0]);
+        let b = candidate_key(0, &[1.0, 2.0, 8.0]);
+        let c = candidate_key(1, &[1.0, 2.0, 4.0]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, candidate_key(0, &[1.0, 2.0, 4.0]));
+    }
+
+    #[test]
+    fn fault_kind_retryability() {
+        assert!(!FaultKind::BuildError.retryable());
+        assert!(FaultKind::Timeout.retryable());
+        assert!(FaultKind::DeviceError.retryable());
+        assert_eq!(FaultKind::Timeout.label(), "timeout");
+    }
+}

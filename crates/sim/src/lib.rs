@@ -16,9 +16,11 @@
 //! the paper's setup where the cost model approximates real hardware.
 
 pub mod clock;
+pub mod fault;
 pub mod vendor;
 
 pub use clock::TuningClock;
+pub use fault::{candidate_key, FaultKind, FaultPlan, MeasureOutcome};
 pub use vendor::{vendor_network_latency, vendor_supports, vendor_task_latency, Vendor};
 
 use felix_features::{feature_index, FeatureSet};
@@ -271,6 +273,29 @@ impl Simulator {
     ) -> f64 {
         let det = self.latency_ms(program, features, values);
         det * lognormal(rng, self.noise_sd)
+    }
+
+    /// One fault-aware measurement attempt: `plan` decides (purely from the
+    /// candidate `key` and `attempt` index, never from `rng`) whether this
+    /// attempt fails; successful attempts return exactly what
+    /// [`Simulator::measure`] would have, including identical `rng`
+    /// consumption. With a zero-rate plan this is byte-for-byte
+    /// [`Simulator::measure`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_outcome(
+        &self,
+        program: &Program,
+        features: &FeatureSet,
+        values: &[f64],
+        rng: &mut impl Rng,
+        plan: &FaultPlan,
+        key: u64,
+        attempt: u32,
+    ) -> MeasureOutcome {
+        if let Some(kind) = plan.fault_for(&self.device, key, attempt) {
+            return MeasureOutcome::Fail(kind);
+        }
+        MeasureOutcome::Ok(self.measure(program, features, values, rng))
     }
 }
 

@@ -8,6 +8,33 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Per-crate test-time budget: no single crate's suite may exceed 60s of
+# wall-clock. This keeps the workspace suite honest after the test-speed
+# overhaul (shared pretrained models, shrunk corpora, debug-opt numeric
+# crates); a regression past the budget fails CI rather than silently
+# rotting back to multi-minute runs. Binaries are already built by the
+# `cargo test -q` above, so this re-run measures execution, not compilation.
+BUDGET_S=60
+for crate in felix-egraph felix-expr felix-tir felix-graph felix-features \
+             felix-sim felix-cost felix-ansor felix felix-bench felix-repro; do
+    start=$SECONDS
+    cargo test -q -p "$crate" >/dev/null
+    elapsed=$((SECONDS - start))
+    echo "test-time $crate: ${elapsed}s"
+    if [ "$elapsed" -gt "$BUDGET_S" ]; then
+        echo "FAIL: $crate test suite took ${elapsed}s (budget ${BUDGET_S}s)" >&2
+        exit 1
+    fi
+done
+
+# Chaos smoke: tune a tiny network end-to-end with 10-30% injected
+# measurement failures. Asserts the run never panics, completes every round,
+# converges to a finite latency, keeps failed samples out of the fine-tuning
+# buffer, and respects the retry bound. The zero-fault bit-identity guarantee
+# is exercised right next to it.
+cargo test -q -p felix --test fault_tolerance chaos_tuning_converges_without_panicking
+cargo test -q -p felix --test fault_tolerance zero_fault_plan_is_byte_identical_to_unconfigured_optimizer
+
 # Tape-equivalence smoke: asserts the compiled gradient tape is bit-identical
 # to the pool-walking objective oracle (no timing claims in CI).
 TUNER_BENCH_SMOKE=1 FELIX_FAST=1 cargo run -q --release -p felix-bench --bin tuner_bench
