@@ -3,7 +3,8 @@
 
 use crate::{Proposer, SearchTask};
 use felix_cost::{
-    crossover_schedules, log_transform_into, mutate_schedule, random_schedule, Mlp,
+    crossover_schedules, log_transform_into, mutate_schedule, random_schedule,
+    total_cmp_desc_nan_last, total_cmp_nan_last, Mlp,
 };
 use felix_sim::clock::ClockCosts;
 use felix_sim::TuningClock;
@@ -114,7 +115,7 @@ impl Proposer for EvolutionaryProposer {
             .iter()
             .filter(|(sk, _, _)| !task.is_quarantined(*sk))
             .collect();
-        elites.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite latency"));
+        elites.sort_by(|a, b| total_cmp_nan_last(&a.2, &b.2));
         let n_elite = ((cfg.population as f64 * cfg.elite_seed_frac) as usize)
             .min(elites.len());
         for e in elites.iter().take(n_elite) {
@@ -132,7 +133,7 @@ impl Proposer for EvolutionaryProposer {
         for _ in 0..cfg.generations {
             // Rank and keep the better half as parents.
             let mut order: Vec<usize> = (0..pop.len()).collect();
-            order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite"));
+            order.sort_by(|&a, &b| total_cmp_desc_nan_last(&scores[a], &scores[b]));
             let parents: Vec<(usize, Vec<f64>)> = order[..pop.len() / 2]
                 .iter()
                 .map(|&i| pop[i].clone())
@@ -158,7 +159,7 @@ impl Proposer for EvolutionaryProposer {
 
         // --- Pick the top-n unmeasured candidates ---------------------------
         let mut order: Vec<usize> = (0..pop.len()).collect();
-        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite"));
+        order.sort_by(|&a, &b| total_cmp_desc_nan_last(&scores[a], &scores[b]));
         let mut out = Vec::with_capacity(n);
         let mut seen = std::collections::HashSet::new();
         for i in order {
@@ -258,6 +259,45 @@ mod tests {
         // population * (generations + 1) predictions.
         assert_eq!(trace.len(), 64 * 3);
         assert!(prop.take_prediction_trace().is_empty(), "trace drains");
+    }
+
+    /// A model predicting NaN for every input: the output-layer bias is
+    /// patched to NaN through the serialized form (the field is private,
+    /// and hidden-layer NaNs never reach the output — `f32::max` in the
+    /// ReLU swallows them).
+    fn nan_model() -> Mlp {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mlp = Mlp::new(&mut rng);
+        let mut bytes = Vec::new();
+        mlp.save(&mut bytes).expect("save");
+        // Layout: magic, layer count, (w, b) per layer, mean, std — so the
+        // final bias (length 1) sits just before the two normalization
+        // vectors at the tail.
+        let d = mlp.input_mean.len();
+        let off = bytes.len() - 2 * (8 + 4 * d) - 4;
+        bytes[off..off + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        Mlp::load(bytes.as_slice()).expect("load")
+    }
+
+    #[test]
+    fn nan_cost_model_does_not_panic_ranking() {
+        // A poisoned model predicts NaN for every candidate (e.g. weights
+        // blown up by a bad fine-tuning batch). Ranking must survive that —
+        // with `partial_cmp(..).expect(..)` comparators this test aborts
+        // the process.
+        let (mut task, _model, _sim) = setup();
+        task.record(0, vec![2.0; task.sketches[0].program.vars.len()], 1.5);
+        let nan_model = nan_model();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut prop = EvolutionaryProposer::new(small_cfg());
+        let mut clock = TuningClock::new();
+        let costs = ClockCosts::default();
+        let cands = prop.propose(&task, &nan_model, 8, &mut clock, &costs, &mut rng);
+        for (sk, vals) in &cands {
+            assert!(task.sketches[*sk].program.constraints_ok(vals, 0.0));
+        }
+        let trace = prop.take_prediction_trace();
+        assert!(!trace.is_empty() && trace.iter().all(|s| s.is_nan()));
     }
 
     #[test]

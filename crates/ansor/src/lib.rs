@@ -63,6 +63,11 @@ impl SketchState {
 pub struct SearchTask {
     /// Display name.
     pub name: String,
+    /// Stable workload identity ([`felix_graph::Subgraph::workload_key`]):
+    /// unique per deduplicated subgraph, unlike `name`, and therefore the
+    /// key under which this task's measurements are persisted and matched
+    /// on replay.
+    pub workload_key: String,
     /// Occurrences in the network.
     pub weight: usize,
     /// The generated sketches.
@@ -137,6 +142,7 @@ impl SearchTask {
         let n_sketches = sketches.len();
         SearchTask {
             name: task.subgraph.name(),
+            workload_key: task.subgraph.workload_key(),
             weight: task.weight,
             sketches,
             best_latency_ms: f64::INFINITY,
@@ -221,6 +227,94 @@ impl SearchTask {
             active
         }
     }
+
+    /// Captures the complete mutable search state for checkpointing.
+    ///
+    /// `fail_streak` and `quarantined` are copied explicitly rather than
+    /// replayed: the interleaving of `measured` and `failed` (which a
+    /// success-resets-the-streak replay would need) is not recoverable from
+    /// the two separate vectors.
+    pub fn snapshot(&self) -> TaskSnapshot {
+        TaskSnapshot {
+            workload_key: self.workload_key.clone(),
+            best_latency_ms: self.best_latency_ms,
+            best_schedule: self.best_schedule.clone(),
+            measured: self.measured.clone(),
+            failed: self.failed.clone(),
+            fault_stats: self.fault_stats,
+            fail_streak: self.fail_streak.clone(),
+            quarantined: self.quarantined.clone(),
+            rounds: self.rounds,
+        }
+    }
+
+    /// Restores a snapshot into a freshly built task (same subgraph and
+    /// device, so the same sketches). The dedup set and the replay-buffer
+    /// samples are rebuilt deterministically from `measured` — features are
+    /// closed-form functions of the schedule values, so re-evaluating them
+    /// reproduces every sample bit for bit and they need not be persisted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's workload key or sketch-shaped vectors do
+    /// not match this task (checkpoint from a different network or device).
+    pub fn restore(&mut self, snap: TaskSnapshot) {
+        assert_eq!(
+            snap.workload_key, self.workload_key,
+            "checkpoint task mismatch (different network or task order?)"
+        );
+        assert_eq!(snap.fail_streak.len(), self.sketches.len(), "sketch count changed");
+        assert_eq!(snap.quarantined.len(), self.sketches.len(), "sketch count changed");
+        self.best_latency_ms = snap.best_latency_ms;
+        self.best_schedule = snap.best_schedule;
+        self.fault_stats = snap.fault_stats;
+        self.fail_streak = snap.fail_streak;
+        self.quarantined = snap.quarantined;
+        self.rounds = snap.rounds;
+        self.measured_keys = snap
+            .measured
+            .iter()
+            .map(|(sk, vals, _)| Self::key(*sk, vals))
+            .chain(snap.failed.iter().map(|(sk, vals, _)| Self::key(*sk, vals)))
+            .collect();
+        self.samples = snap
+            .measured
+            .iter()
+            .map(|(sk, vals, latency)| {
+                let st = &self.sketches[*sk];
+                Sample {
+                    logfeats: log_transform(&st.features.eval(&st.program, vals)),
+                    score: latency_to_score(*latency),
+                }
+            })
+            .collect();
+        self.measured = snap.measured;
+        self.failed = snap.failed;
+    }
+}
+
+/// The complete mutable search state of a [`SearchTask`], detached from the
+/// (deterministically rebuildable) sketches — what a checkpoint persists.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskSnapshot {
+    /// [`SearchTask::workload_key`], verified on restore.
+    pub workload_key: String,
+    /// Best measured latency (ms).
+    pub best_latency_ms: f64,
+    /// Best (sketch, values) found.
+    pub best_schedule: Option<(usize, Vec<f64>)>,
+    /// All successful measurements in order.
+    pub measured: Vec<(usize, Vec<f64>, f64)>,
+    /// All exhausted-retry failures in order.
+    pub failed: Vec<(usize, Vec<f64>, FaultKind)>,
+    /// Fault counters.
+    pub fault_stats: TaskFaultStats,
+    /// Per-sketch consecutive-failure streaks.
+    pub fail_streak: Vec<usize>,
+    /// Per-sketch quarantine flags.
+    pub quarantined: Vec<bool>,
+    /// Rounds spent on the task.
+    pub rounds: usize,
 }
 
 /// Per-round observability counters of a proposer, drained via
@@ -322,6 +416,37 @@ pub trait Proposer {
     fn note_measurement(&mut self, _report: &RoundReport) {}
 }
 
+/// One finished measurement (success, or failure after exhausting retries),
+/// as delivered to a [`MeasurementSink`] the moment the tuner records it.
+#[derive(Clone, Copy, Debug)]
+pub struct MeasurementEvent<'a> {
+    /// The task's stable workload key ([`SearchTask::workload_key`]).
+    pub workload_key: &'a str,
+    /// The task's display name.
+    pub task_name: &'a str,
+    /// Sketch index of the candidate.
+    pub sketch: usize,
+    /// Sketch label (validates sketch identity on replay).
+    pub sketch_name: &'static str,
+    /// The concrete schedule-variable assignment.
+    pub values: &'a [f64],
+    /// Measured latency (ms) or the final fault.
+    pub outcome: Result<f64, FaultKind>,
+    /// Retry attempts this candidate consumed.
+    pub retries: usize,
+    /// Simulated tuning-clock time when the measurement completed.
+    pub time_s: f64,
+}
+
+/// A consumer of measurement events — the hook a durable record log (or any
+/// other observer) attaches to the tuning loop. Sinks only *observe*: they
+/// must not touch the RNG or the clock, so a run with a sink attached stays
+/// bit-identical to one without.
+pub trait MeasurementSink {
+    /// Called once per finished measurement, in execution order.
+    fn record(&mut self, event: &MeasurementEvent<'_>);
+}
+
 /// Retry-with-backoff policy for failed measurements, charged against the
 /// tuning clock (a retried candidate costs real tuning time, exactly as a
 /// flaky device does in AutoTVM/MetaSchedule).
@@ -410,6 +535,24 @@ pub fn tune_task_round(
     opts: &TuneOptions,
     rng: &mut StdRng,
 ) -> RoundReport {
+    tune_task_round_with_sink(task, proposer, model, sim, clock, costs, opts, rng, None)
+}
+
+/// [`tune_task_round`] with an optional [`MeasurementSink`] receiving every
+/// finished measurement. With `None` (or a sink attached) the search state,
+/// RNG stream, and clock evolve identically — the sink is a pure observer.
+#[allow(clippy::too_many_arguments)]
+pub fn tune_task_round_with_sink(
+    task: &mut SearchTask,
+    proposer: &mut dyn Proposer,
+    model: &mut Mlp,
+    sim: &Simulator,
+    clock: &mut TuningClock,
+    costs: &ClockCosts,
+    opts: &TuneOptions,
+    rng: &mut StdRng,
+    mut sink: Option<&mut (dyn MeasurementSink + '_)>,
+) -> RoundReport {
     let candidates = proposer.propose(task, model, opts.measurements_per_round, clock, costs, rng);
     let mut new_samples = Vec::new();
     let mut report = RoundReport::default();
@@ -459,6 +602,18 @@ pub fn tune_task_round(
                 }
             }
         };
+        if let Some(s) = sink.as_deref_mut() {
+            s.record(&MeasurementEvent {
+                workload_key: &task.workload_key,
+                task_name: &task.name,
+                sketch,
+                sketch_name: st.name,
+                values: &vals,
+                outcome: fate,
+                retries: attempt as usize,
+                time_s: clock.now_s(),
+            });
+        }
         match fate {
             Ok(latency) => {
                 let raw = st.features.eval(&st.program, &vals);
@@ -514,6 +669,9 @@ pub struct NetworkTuneResult {
     pub final_latency_ms: f64,
     /// Per-round measurement reports, in execution order.
     pub round_reports: Vec<RoundReport>,
+    /// Tasks that ended the run without a single successful measurement
+    /// (their best latency is still infinite, so `final_latency_ms` is too).
+    pub unmeasured_tasks: usize,
 }
 
 /// End-to-end latency = Σ weight × best task latency (+ launch gaps folded
@@ -525,6 +683,11 @@ pub fn network_latency(tasks: &[SearchTask]) -> f64 {
         .sum()
 }
 
+/// Rounds of bounded immediate retry granted to a task that has never
+/// produced a successful measurement, before [`select_next_task`] demotes it
+/// below every healthy task.
+pub const SEED_RETRY_ROUNDS: usize = 3;
+
 /// Ansor's task scheduler (simplified gradient allocation): after seeding
 /// every task once, repeatedly picks the task with the largest weighted
 /// latency headroom.
@@ -533,18 +696,35 @@ pub fn select_next_task(tasks: &[SearchTask]) -> usize {
     if let Some(i) = tasks.iter().position(|t| t.rounds == 0) {
         return i;
     }
+    // A task whose incumbent is still infinite gets a few bounded retry
+    // rounds (its first round may have lost every candidate to faults), but
+    // only a few: an infinite `best_latency_ms` would otherwise make its
+    // headroom score infinite and the scheduler would pick it forever,
+    // starving every healthy task.
+    if let Some(i) = tasks
+        .iter()
+        .position(|t| t.best_latency_ms.is_infinite() && t.rounds < SEED_RETRY_ROUNDS)
+    {
+        return i;
+    }
     // Then: the task with the biggest expected payoff, weighted by both its
     // share of network latency and how stale its incumbent is. Tasks that
     // burn their measurement budget on faults are deprioritized in
     // proportion to the fraction of attempts they waste — a fault-free task
     // divides by exactly 1.0, keeping the schedule byte-identical to the
-    // fault-unaware scheduler.
+    // fault-unaware scheduler. Tasks still without any measurement after
+    // their retry rounds score below every healthy task (healthy scores are
+    // positive) and round-robin among themselves by fewest rounds first.
     let mut best = 0;
     let mut best_score = f64::NEG_INFINITY;
     for (i, t) in tasks.iter().enumerate() {
-        let wasted = t.fault_stats.wasted_attempts() as f64;
-        let fault_penalty = 1.0 + wasted / (t.measured.len() as f64 + 1.0);
-        let score = t.weight as f64 * t.best_latency_ms / (t.rounds as f64).sqrt() / fault_penalty;
+        let score = if t.best_latency_ms.is_infinite() {
+            -(t.rounds as f64)
+        } else {
+            let wasted = t.fault_stats.wasted_attempts() as f64;
+            let fault_penalty = 1.0 + wasted / (t.measured.len() as f64 + 1.0);
+            t.weight as f64 * t.best_latency_ms / (t.rounds as f64).sqrt() / fault_penalty
+        };
         if score > best_score {
             best_score = score;
             best = i;
@@ -567,12 +747,39 @@ pub fn tune_network(
     n_rounds: usize,
     rng: &mut StdRng,
 ) -> NetworkTuneResult {
+    tune_network_with_sink(tasks, proposer, model, sim, clock, costs, opts, n_rounds, rng, None)
+}
+
+/// [`tune_network`] with an optional [`MeasurementSink`] observing every
+/// measurement across all tasks, in execution order.
+#[allow(clippy::too_many_arguments)]
+pub fn tune_network_with_sink(
+    tasks: &mut [SearchTask],
+    proposer: &mut dyn Proposer,
+    model: &mut Mlp,
+    sim: &Simulator,
+    clock: &mut TuningClock,
+    costs: &ClockCosts,
+    opts: &TuneOptions,
+    n_rounds: usize,
+    rng: &mut StdRng,
+    mut sink: Option<&mut (dyn MeasurementSink + '_)>,
+) -> NetworkTuneResult {
     let mut curve = Vec::with_capacity(n_rounds);
     let mut round_reports = Vec::with_capacity(n_rounds);
     for _ in 0..n_rounds {
         let next = select_next_task(tasks);
-        let report =
-            tune_task_round(&mut tasks[next], proposer, model, sim, clock, costs, opts, rng);
+        let report = tune_task_round_with_sink(
+            &mut tasks[next],
+            proposer,
+            model,
+            sim,
+            clock,
+            costs,
+            opts,
+            rng,
+            sink.as_deref_mut(),
+        );
         round_reports.push(report);
         if tasks.iter().all(|t| t.best_latency_ms.is_finite()) {
             curve.push(CurvePoint { time_s: clock.now_s(), latency_ms: network_latency(tasks) });
@@ -584,6 +791,7 @@ pub fn tune_network(
         curve,
         task_latencies,
         round_reports,
+        unmeasured_tasks: tasks.iter().filter(|t| t.best_latency_ms.is_infinite()).count(),
     }
 }
 
@@ -711,5 +919,136 @@ mod tests {
         let mut tasks = vec![SearchTask::from_task(&dense_task(), &sim)];
         tasks[0].best_latency_ms = 2.0;
         assert_eq!(network_latency(&tasks), 4.0); // weight 2
+    }
+
+    #[test]
+    fn scheduler_does_not_starve_on_persistent_faults() {
+        let sim = Simulator::new(DeviceConfig::a5000());
+        let mut tasks = vec![
+            SearchTask::from_task(&dense_task(), &sim),
+            SearchTask::from_task(&dense_task(), &sim),
+        ];
+        // Task 0 was seeded but lost every candidate to faults: its
+        // incumbent is still infinite. Task 1 is healthy.
+        tasks[0].rounds = 1;
+        tasks[0].fault_stats.build_errors = 16;
+        tasks[1].rounds = 1;
+        tasks[1].best_latency_ms = 5.0;
+        let mut picks = [0usize; 2];
+        for _ in 0..10 {
+            let i = select_next_task(&tasks);
+            picks[i] += 1;
+            tasks[i].rounds += 1;
+        }
+        // An infinite incumbent must not win the headroom score forever:
+        // the failing task gets its bounded retries, the healthy task gets
+        // every remaining round.
+        assert!(picks[1] > 0, "healthy task starved: picks {picks:?}");
+        assert!(
+            picks[0] <= SEED_RETRY_ROUNDS,
+            "failing task must be retry-bounded: picks {picks:?}"
+        );
+    }
+
+    #[test]
+    fn scheduler_round_robins_when_every_task_is_failing() {
+        let sim = Simulator::new(DeviceConfig::a5000());
+        let mut tasks = vec![
+            SearchTask::from_task(&dense_task(), &sim),
+            SearchTask::from_task(&dense_task(), &sim),
+        ];
+        tasks[0].rounds = SEED_RETRY_ROUNDS;
+        tasks[1].rounds = SEED_RETRY_ROUNDS;
+        for _ in 0..6 {
+            let i = select_next_task(&tasks);
+            tasks[i].rounds += 1;
+        }
+        // Fewest-rounds-first keeps all-failing tasks within one round of
+        // each other instead of hammering one.
+        assert_eq!(tasks[0].rounds, tasks[1].rounds);
+    }
+
+    #[test]
+    fn sink_observes_measurements_without_perturbing_the_search() {
+        #[derive(Default)]
+        struct Capture(Vec<(String, usize, Result<f64, FaultKind>, f64)>);
+        impl MeasurementSink for Capture {
+            fn record(&mut self, event: &MeasurementEvent<'_>) {
+                self.0.push((
+                    event.workload_key.to_string(),
+                    event.sketch,
+                    event.outcome,
+                    event.time_s,
+                ));
+            }
+        }
+
+        let sim = Simulator::new(DeviceConfig::a5000());
+        let mut model = quick_model();
+        let mut clock = TuningClock::new();
+        let costs = ClockCosts::default();
+        let opts = TuneOptions { measurements_per_round: 6, update_model: false, ..Default::default() };
+
+        let mut with_sink = SearchTask::from_task(&dense_task(), &sim);
+        let mut capture = Capture::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let report = tune_task_round_with_sink(
+            &mut with_sink, &mut RandomProposer, &mut model, &sim, &mut clock, &costs,
+            &opts, &mut rng, Some(&mut capture),
+        );
+        assert_eq!(capture.0.len(), report.measured + report.failed);
+        assert!(capture.0.iter().all(|(wk, _, _, _)| wk == &with_sink.workload_key));
+        // Events arrive in measurement order with nondecreasing clock times.
+        assert!(capture.0.windows(2).all(|w| w[0].3 <= w[1].3));
+
+        // The identical run without a sink produces the identical state.
+        let mut without = SearchTask::from_task(&dense_task(), &sim);
+        let mut clock2 = TuningClock::new();
+        let mut rng2 = StdRng::seed_from_u64(3);
+        tune_task_round(
+            &mut without, &mut RandomProposer, &mut model, &sim, &mut clock2, &costs,
+            &opts, &mut rng2,
+        );
+        assert_eq!(without.measured, with_sink.measured);
+        assert_eq!(without.best_latency_ms.to_bits(), with_sink.best_latency_ms.to_bits());
+        assert_eq!(clock2.now_s().to_bits(), clock.now_s().to_bits());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_search_state() {
+        let sim = Simulator::new(DeviceConfig::a5000());
+        let mut task = SearchTask::from_task(&dense_task(), &sim);
+        let mut model = quick_model();
+        let mut clock = TuningClock::new();
+        let costs = ClockCosts::default();
+        let opts = TuneOptions { measurements_per_round: 6, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..2 {
+            tune_task_round(
+                &mut task, &mut RandomProposer, &mut model, &sim, &mut clock, &costs,
+                &opts, &mut rng,
+            );
+        }
+        task.record_failure(0, vec![999.0, 999.0], FaultKind::Timeout);
+
+        let snap = task.snapshot();
+        let mut fresh = SearchTask::from_task(&dense_task(), &sim);
+        fresh.restore(snap);
+        assert_eq!(fresh.measured, task.measured);
+        assert_eq!(fresh.failed, task.failed);
+        assert_eq!(fresh.best_latency_ms.to_bits(), task.best_latency_ms.to_bits());
+        assert_eq!(fresh.best_schedule, task.best_schedule);
+        assert_eq!(fresh.fault_stats, task.fault_stats);
+        assert_eq!(fresh.rounds, task.rounds);
+        assert!(fresh.already_measured(0, &[999.0, 999.0]), "dedup set rebuilt");
+        // Replay-buffer samples rebuild bit-exactly from the measurements.
+        assert_eq!(fresh.samples.len(), task.samples.len());
+        for (a, b) in fresh.samples.iter().zip(&task.samples) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            assert_eq!(
+                a.logfeats.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.logfeats.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            );
+        }
     }
 }

@@ -44,7 +44,19 @@ fn main() {
             let tasks = partition(&g);
             let felix_ms = match felix_final(dev.name, &g.name) {
                 Some(l) => l,
-                None => run_felix(&g, &dev, &model, scale, 1).final_latency_ms,
+                None => {
+                    let run = run_felix(&g, &dev, &model, scale, 1);
+                    if run.unmeasured_tasks > 0 {
+                        eprintln!(
+                            "  [fig6] {} on {}: {} — skipping",
+                            g.name,
+                            dev.name,
+                            run.final_latency_label()
+                        );
+                        continue;
+                    }
+                    run.final_latency_ms
+                }
             };
             let vend: Vec<Option<f64>> = Vendor::all()
                 .iter()

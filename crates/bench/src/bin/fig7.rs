@@ -30,12 +30,12 @@ fn main() {
                 let f = run_felix(&g, &dev, &model, scale, seed);
                 let a = run_ansor(&g, &dev, &model, scale, seed);
                 println!(
-                    "  {:<10} {:<18} seed {seed}: Felix {:>9.4} ms in {:>7.0} s | Ansor {:>9.4} ms in {:>7.0} s",
+                    "  {:<10} {:<18} seed {seed}: Felix {:>12} in {:>7.0} s | Ansor {:>12} in {:>7.0} s",
                     dev.name,
                     g.name,
-                    f.final_latency_ms,
+                    f.final_latency_label(),
                     f.curve.last().map(|p| p.time_s).unwrap_or(0.0),
-                    a.final_latency_ms,
+                    a.final_latency_label(),
                     a.curve.last().map(|p| p.time_s).unwrap_or(0.0),
                 );
                 rows.push((dev.name.to_string(), g.name.clone(), f.tool.to_string(), seed, f.curve));

@@ -57,7 +57,7 @@ fn main() {
                         .iter()
                         .filter_map(|&v| vendor_network_latency(&g.name, &tasks, v, &dev))
                         .collect();
-                    vendors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    vendors.sort_by(felix_cost::total_cmp_nan_last);
                     let second = vendors.get(1).copied();
                     match (felix, second) {
                         (Some((_, _, _, _, c)), Some(th)) => {

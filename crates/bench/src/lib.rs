@@ -133,6 +133,22 @@ pub struct TuneRun {
     pub curve: Vec<CurvePoint>,
     /// Final end-to-end latency (ms).
     pub final_latency_ms: f64,
+    /// Tasks that never produced a successful measurement (when nonzero,
+    /// `final_latency_ms` is infinite and reports should say why).
+    pub unmeasured_tasks: usize,
+}
+
+impl TuneRun {
+    /// Human-readable final latency: the measured figure, or — when some
+    /// tasks never produced a measurement and the sum would print as `inf` —
+    /// how many tasks are missing.
+    pub fn final_latency_label(&self) -> String {
+        if self.unmeasured_tasks > 0 {
+            format!("{} tasks unmeasured", self.unmeasured_tasks)
+        } else {
+            format!("{:.4} ms", self.final_latency_ms)
+        }
+    }
 }
 
 fn run_with_proposer(
@@ -164,6 +180,7 @@ fn run_with_proposer(
         task_latencies: Vec::new(),
         final_latency_ms: f64::INFINITY,
         round_reports: Vec::new(),
+        unmeasured_tasks: search.len(),
     };
     let mut rounds_done = 0;
     while clock.now_s() < budget_s && rounds_done < round_cap {
@@ -175,6 +192,7 @@ fn run_with_proposer(
         result.task_latencies = chunk.task_latencies;
         result.final_latency_ms = chunk.final_latency_ms;
         result.round_reports.extend(chunk.round_reports);
+        result.unmeasured_tasks = chunk.unmeasured_tasks;
         rounds_done += 1;
     }
     result
@@ -190,7 +208,12 @@ pub fn run_felix(
 ) -> TuneRun {
     let mut proposer = GradientProposer::new(scale.felix_options());
     let res = run_with_proposer(graph, device, model, &mut proposer, 16, scale.rounds_factor(), seed);
-    TuneRun { tool: "Felix", curve: res.curve, final_latency_ms: res.final_latency_ms }
+    TuneRun {
+        tool: "Felix",
+        curve: res.curve,
+        final_latency_ms: res.final_latency_ms,
+        unmeasured_tasks: res.unmeasured_tasks,
+    }
 }
 
 /// Tunes a network with Ansor-TenSet (evolutionary; 64 measurements/round).
@@ -207,7 +230,12 @@ pub fn run_ansor(
         ..Default::default()
     });
     let res = run_with_proposer(graph, device, model, &mut proposer, 64, scale.rounds_factor(), seed);
-    TuneRun { tool: "Ansor-TenSet", curve: res.curve, final_latency_ms: res.final_latency_ms }
+    TuneRun {
+        tool: "Ansor-TenSet",
+        curve: res.curve,
+        final_latency_ms: res.final_latency_ms,
+        unmeasured_tasks: res.unmeasured_tasks,
+    }
 }
 
 /// Outcome of tuning one subgraph in isolation (for Figs. 8 and 9).

@@ -1,17 +1,19 @@
 //! The user-facing programming interface, mirroring the paper's Fig. 5.
 
 use crate::gd::{FelixOptions, GradientProposer};
+use crate::persist::{self, CheckpointState, RecordLogSink};
 use felix_ansor::{
-    network_latency, tune_network, NetworkTuneResult, Proposer, SearchTask, TuneOptions,
-    TunerStats,
+    network_latency, tune_network_with_sink, MeasurementSink, NetworkTuneResult, Proposer,
+    SearchTask, TuneOptions, TunerStats,
 };
-use felix_cost::{generate_dataset, pretrain, Mlp, TrainConfig};
+use felix_cost::{fine_tune, generate_dataset, pretrain, Mlp, TrainConfig};
 use felix_graph::{partition, Graph, Task};
 use felix_ansor::MeasurePolicy;
 use felix_sim::clock::ClockCosts;
 use felix_sim::{DeviceConfig, FaultPlan, Simulator, TuningClock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::{Path, PathBuf};
 
 /// How thoroughly to pretrain the cost model.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -69,6 +71,10 @@ pub struct Optimizer {
     rng: StdRng,
     fault_plan: FaultPlan,
     measure_policy: MeasurePolicy,
+    sink: Option<RecordLogSink>,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: usize,
+    rounds_done: usize,
     /// Curve of (time, latency) across all rounds run so far.
     pub history: Vec<felix_ansor::CurvePoint>,
     /// Per-round tuner observability records, accumulated across all
@@ -101,6 +107,10 @@ impl Optimizer {
             rng: StdRng::seed_from_u64(0xF311),
             fault_plan: FaultPlan::none(),
             measure_policy: MeasurePolicy::default(),
+            sink: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            rounds_done: 0,
             history: Vec::new(),
             stats: Vec::new(),
         }
@@ -120,6 +130,139 @@ impl Optimizer {
         self
     }
 
+    /// Attaches a durable tuning-record log at `path`. Existing records
+    /// matching this optimizer's tasks (by workload key + device) are
+    /// replayed into the search state first — rebuilding each task's
+    /// incumbent, dedup set, fault statistics, and replay buffer — and the
+    /// cost model is warm-started on the replayed measurements with the same
+    /// fine-tuning hyperparameters a live round uses. New measurements are
+    /// then appended to the log as they finish.
+    ///
+    /// Replay touches neither the tuning clock nor the master RNG, and the
+    /// attached sink is a pure observer, so with an *empty* log this is
+    /// bit-identical to a run without persistence.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from reading or opening the log.
+    pub fn with_record_log(mut self, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        let records = felix_records::read_records(path)?;
+        let device = self.sim.device.name;
+        for task in &mut self.tasks {
+            let n_new = persist::replay_records(task, &records, device);
+            if n_new > 0 {
+                // Same replay-window / epoch-scaling / learning-rate rule as
+                // `tune_task_round`'s post-measurement update.
+                let window = 192usize;
+                let start = task.samples.len().saturating_sub(window);
+                let epochs = ((5 * n_new).div_ceil(64)).max(1);
+                fine_tune(&mut self.model, &task.samples[start..], epochs, 4e-4);
+            }
+        }
+        self.sink = Some(RecordLogSink::open(path, device)?);
+        Ok(self)
+    }
+
+    /// Enables checkpointing: after every `every_rounds` tuning rounds (and
+    /// at the end of each `optimize_all` call) the full tuner state — task
+    /// snapshots, cost-model weights, clock, and RNG position — is written
+    /// atomically under `dir`. [`Optimizer::resume_from_checkpoint`] then
+    /// continues the run byte-identically.
+    pub fn with_checkpointing(mut self, dir: impl AsRef<Path>, every_rounds: usize) -> Self {
+        self.checkpoint_dir = Some(dir.as_ref().to_path_buf());
+        self.checkpoint_every = every_rounds.max(1);
+        self
+    }
+
+    /// Writes a checkpoint now (no-op without [`Optimizer::with_checkpointing`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the state or model files.
+    pub fn save_checkpoint(&self) -> std::io::Result<()> {
+        let Some(dir) = &self.checkpoint_dir else { return Ok(()) };
+        std::fs::create_dir_all(dir)?;
+        let mut model_bytes = Vec::new();
+        self.model.save(&mut model_bytes)?;
+        persist::write_bytes_atomic(dir.join(persist::MODEL_FILE), &model_bytes)?;
+        let state = CheckpointState {
+            device_name: self.sim.device.name.to_string(),
+            clock_s: self.clock.now_s(),
+            rng_state: self.rng.state(),
+            rounds_done: self.rounds_done,
+            checkpoint_every: self.checkpoint_every,
+            record_log: self.sink.as_ref().map(|s| s.path().display().to_string()),
+            history: self.history.clone(),
+            tasks: self.tasks.iter().map(SearchTask::snapshot).collect(),
+        };
+        felix_records::write_document(
+            dir.join(persist::STATE_FILE),
+            &persist::checkpoint_to_json(&state),
+        )
+    }
+
+    /// Rebuilds an optimizer from a checkpoint directory written by
+    /// [`Optimizer::save_checkpoint`], restoring the cost model, every
+    /// task's search state, the tuning clock, and the master RNG position.
+    /// Continuing with `optimize_all` reproduces the exact time-vs-latency
+    /// curve the uninterrupted run would have produced, byte for byte.
+    ///
+    /// `graphs` and `device` must be the ones the checkpointed run used
+    /// (the tasks are rebuilt from them and verified by workload key). A
+    /// record log attached to the original run is reattached for appending;
+    /// re-run rounds may append duplicate records, which replay skips.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a malformed or mismatched checkpoint, plus
+    /// any underlying I/O error.
+    pub fn resume_from_checkpoint(
+        graphs: Vec<Task>,
+        device: DeviceConfig,
+        options: FelixOptions,
+        dir: impl AsRef<Path>,
+    ) -> std::io::Result<Optimizer> {
+        use std::io::{Error, ErrorKind};
+        let bad = |msg: &str| Error::new(ErrorKind::InvalidData, msg.to_string());
+        let dir = dir.as_ref();
+        let doc = felix_records::read_document(dir.join(persist::STATE_FILE))?;
+        let state = persist::checkpoint_from_json(&doc)
+            .ok_or_else(|| bad("malformed or incompatible checkpoint document"))?;
+        if state.device_name != device.name {
+            return Err(bad("checkpoint was written for a different device"));
+        }
+        let model = Mlp::load(std::io::BufReader::new(std::fs::File::open(
+            dir.join(persist::MODEL_FILE),
+        )?))?;
+        let mut opt = Optimizer::with_options(graphs, model, device, options);
+        if state.tasks.len() != opt.tasks.len() {
+            return Err(bad("checkpoint task count does not match the network"));
+        }
+        for (task, snap) in opt.tasks.iter_mut().zip(state.tasks) {
+            if snap.workload_key != task.workload_key {
+                return Err(bad("checkpoint task does not match the network"));
+            }
+            task.restore(snap);
+        }
+        // `new() + advance(x)` is `0.0 + x`, which is bit-exact.
+        opt.clock.advance(state.clock_s);
+        opt.rng = StdRng::from_state(state.rng_state);
+        opt.rounds_done = state.rounds_done;
+        opt.history = state.history;
+        opt.checkpoint_dir = Some(dir.to_path_buf());
+        opt.checkpoint_every = state.checkpoint_every;
+        if let Some(log_path) = state.record_log {
+            opt.sink = Some(RecordLogSink::open(log_path, device.name)?);
+        }
+        Ok(opt)
+    }
+
+    /// Total tuning rounds completed (across resumes).
+    pub fn rounds_done(&self) -> usize {
+        self.rounds_done
+    }
+
     /// The tuning tasks.
     pub fn tasks(&self) -> &[SearchTask] {
         &self.tasks
@@ -132,6 +275,11 @@ impl Optimizer {
 
     /// Runs `n_total_rounds` rounds of tuning with `measure_per_round`
     /// hardware measurements each (Fig. 5's `optimize_all`).
+    ///
+    /// With checkpointing enabled the rounds run one at a time so every
+    /// checkpoint lands on a round boundary; the per-round loop evolves the
+    /// search state identically to a single n-round call (the scheduler and
+    /// round pipeline carry no cross-call state).
     pub fn optimize_all(
         &mut self,
         n_total_rounds: usize,
@@ -143,20 +291,57 @@ impl Optimizer {
             measure_policy: self.measure_policy,
             ..Default::default()
         };
-        let res = tune_network(
+        let res = if self.checkpoint_dir.is_some() {
+            let mut acc = NetworkTuneResult {
+                curve: Vec::new(),
+                task_latencies: self.tasks.iter().map(|t| t.best_latency_ms).collect(),
+                final_latency_ms: network_latency(&self.tasks),
+                round_reports: Vec::new(),
+                unmeasured_tasks: self
+                    .tasks
+                    .iter()
+                    .filter(|t| t.best_latency_ms.is_infinite())
+                    .count(),
+            };
+            for i in 0..n_total_rounds {
+                let chunk = self.run_rounds(&opts, 1);
+                self.history.extend(chunk.curve.iter().copied());
+                acc.curve.extend(chunk.curve);
+                acc.task_latencies = chunk.task_latencies;
+                acc.final_latency_ms = chunk.final_latency_ms;
+                acc.round_reports.extend(chunk.round_reports);
+                acc.unmeasured_tasks = chunk.unmeasured_tasks;
+                self.rounds_done += 1;
+                if (i + 1) % self.checkpoint_every == 0 || i + 1 == n_total_rounds {
+                    if let Err(e) = self.save_checkpoint() {
+                        eprintln!("[felix] checkpoint write failed: {e}");
+                    }
+                }
+            }
+            acc
+        } else {
+            let res = self.run_rounds(&opts, n_total_rounds);
+            self.history.extend(res.curve.iter().copied());
+            self.rounds_done += n_total_rounds;
+            res
+        };
+        self.stats.extend(self.proposer.take_stats());
+        res
+    }
+
+    fn run_rounds(&mut self, opts: &TuneOptions, n_rounds: usize) -> NetworkTuneResult {
+        tune_network_with_sink(
             &mut self.tasks,
             &mut self.proposer,
             &mut self.model,
             &self.sim,
             &mut self.clock,
             &self.costs,
-            &opts,
-            n_total_rounds,
+            opts,
+            n_rounds,
             &mut self.rng,
-        );
-        self.history.extend(res.curve.iter().copied());
-        self.stats.extend(self.proposer.take_stats());
-        res
+            self.sink.as_mut().map(|s| s as &mut dyn MeasurementSink),
+        )
     }
 
     /// Applies the best schedule found for each subgraph and produces a

@@ -29,7 +29,7 @@
 use crate::objective::{EvalScratch, PipelineOptions, SketchObjective};
 use crate::parallel::{effective_threads, parallel_map};
 use felix_ansor::{Proposer, SearchTask, TunerStats};
-use felix_cost::{log_transform, AdamOpt, Mlp};
+use felix_cost::{log_transform, total_cmp_desc_nan_last, total_cmp_nan_last, AdamOpt, Mlp};
 use felix_sim::clock::ClockCosts;
 use felix_sim::TuningClock;
 use felix_tir::sketch::round_to_valid;
@@ -273,7 +273,7 @@ impl Proposer for GradientProposer {
             .iter()
             .filter(|(sk, _, _)| !task.is_quarantined(*sk))
             .collect();
-        elites.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite latency"));
+        elites.sort_by(|a, b| total_cmp_nan_last(&a.2, &b.2));
         let n_warm = (opts.n_seeds / 2).min(elites.len());
         let mut seeds: Vec<Seed> = Vec::with_capacity(opts.n_seeds);
         for e in elites.iter().take(n_warm) {
@@ -300,7 +300,7 @@ impl Proposer for GradientProposer {
             let best = scores
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite score"))
+                .max_by(|a, b| total_cmp_desc_nan_last(b.1, a.1))
                 .map_or(0, |(i, _)| i);
             cands.into_iter().nth(best).expect("SEED_INIT_DRAWS >= 1")
         });
@@ -385,7 +385,7 @@ impl Proposer for GradientProposer {
             .zip(cands)
             .map(|(s, (sk, x))| (s, sk, x))
             .collect();
-        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite score"));
+        ranked.sort_by(|a, b| total_cmp_desc_nan_last(&a.0, &b.0));
 
         // --- Discretization repair: nearest rounding can lose the relaxed
         // optimum badly when an axis has few factors (coarse lattice), so
@@ -419,7 +419,7 @@ impl Proposer for GradientProposer {
                 .zip(neighbors)
                 .map(|(s, (sk, x))| (s, sk, x)),
         );
-        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite score"));
+        ranked.sort_by(|a, b| total_cmp_desc_nan_last(&a.0, &b.0));
 
         // Greedy diverse selection: the trajectory of one seed yields many
         // near-identical rounded schedules; measuring 16 of those wastes the
@@ -531,6 +531,39 @@ mod tests {
             assert!(vals.iter().all(|v| (v - v.round()).abs() < 1e-9));
         }
         assert!(clock.now_s() > 0.0);
+    }
+
+    #[test]
+    fn nan_cost_model_does_not_panic_gradient_search() {
+        // NaN predictions flood the descent trajectories and candidate
+        // scores; seed selection, ranking, and elite sorting must all
+        // tolerate them (the old `partial_cmp(..).expect(..)` comparators
+        // aborted). No useful candidates are required — just no panic.
+        let (task, _model, _sim) = setup();
+        let mut rng = StdRng::seed_from_u64(13);
+        let nan_model = {
+            // Patch the (private) output-layer bias to NaN through the
+            // serialized form; hidden-layer NaNs never reach the output
+            // because the ReLU's `f32::max` swallows them.
+            let mlp = Mlp::new(&mut rng);
+            let mut bytes = Vec::new();
+            mlp.save(&mut bytes).expect("save");
+            let d = mlp.input_mean.len();
+            let off = bytes.len() - 2 * (8 + 4 * d) - 4;
+            bytes[off..off + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+            Mlp::load(bytes.as_slice()).expect("load")
+        };
+        let mut prop = GradientProposer::new(FelixOptions {
+            n_seeds: 2,
+            n_steps: 10,
+            ..Default::default()
+        });
+        let mut clock = TuningClock::new();
+        let costs = ClockCosts::default();
+        let cands = prop.propose(&task, &nan_model, 4, &mut clock, &costs, &mut rng);
+        for (sk, vals) in &cands {
+            assert!(task.sketches[*sk].program.constraints_ok(vals, 1e-9));
+        }
     }
 
     #[test]

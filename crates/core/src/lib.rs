@@ -41,9 +41,11 @@ pub mod api;
 pub mod gd;
 pub mod objective;
 pub mod parallel;
+pub mod persist;
 
 pub use api::{
     extract_subgraphs, pretrained_cost_model, CompiledModule, ModelQuality, Optimizer,
 };
+pub use persist::{replay_records, CheckpointState, RecordLogSink};
 pub use gd::{FelixOptions, GradientProposer};
 pub use objective::{EvalScratch, SketchObjective};

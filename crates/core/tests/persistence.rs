@@ -1,0 +1,211 @@
+//! End-to-end tests of the durable tuning-record store and crash-safe
+//! checkpoint/resume: resuming a killed run reproduces the uninterrupted
+//! time-vs-latency curve byte for byte, replaying a record log warm-starts
+//! a fresh optimizer, and — with the store disabled or the log empty — the
+//! persistence layer perturbs nothing at any thread count.
+
+use felix::{extract_subgraphs, pretrained_cost_model, FelixOptions, ModelQuality, Optimizer};
+use felix_graph::models;
+use felix_sim::{DeviceConfig, FaultPlan};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn tiny_network() -> Vec<felix_graph::Task> {
+    extract_subgraphs(&models::llama_with_config(1, 16, 128, 4, 344, 2))
+}
+
+fn quick_options(threads: usize) -> FelixOptions {
+    FelixOptions { n_seeds: 2, n_steps: 15, threads, ..Default::default() }
+}
+
+/// A unique scratch directory per call (tests in one binary may run in
+/// parallel; directories must not collide).
+fn tmp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "felix-persistence-{}-{}-{tag}",
+        std::process::id(),
+        n
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn history_bits(opt: &Optimizer) -> Vec<(u64, u64)> {
+    opt.history.iter().map(|p| (p.time_s.to_bits(), p.latency_ms.to_bits())).collect()
+}
+
+fn assert_tasks_bit_identical(a: &Optimizer, b: &Optimizer) {
+    for (ta, tb) in a.tasks().iter().zip(b.tasks()) {
+        assert_eq!(ta.best_latency_ms.to_bits(), tb.best_latency_ms.to_bits());
+        assert_eq!(ta.best_schedule, tb.best_schedule);
+        assert_eq!(ta.measured.len(), tb.measured.len());
+        for (ma, mb) in ta.measured.iter().zip(&tb.measured) {
+            assert_eq!(ma.0, mb.0);
+            assert_eq!(
+                ma.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                mb.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(ma.2.to_bits(), mb.2.to_bits());
+        }
+        assert_eq!(ta.failed, tb.failed);
+        assert_eq!(ta.fault_stats, tb.fault_stats);
+        assert_eq!(ta.samples.len(), tb.samples.len());
+        for (sa, sb) in ta.samples.iter().zip(&tb.samples) {
+            assert_eq!(sa.score.to_bits(), sb.score.to_bits());
+            assert_eq!(
+                sa.logfeats.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                sb.logfeats.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn resume_from_checkpoint_matches_uninterrupted_curve() {
+    // The tentpole acceptance bar: checkpoint every round, kill the run
+    // halfway (drop the optimizer), resume from disk, and finish. The
+    // concatenated time-vs-latency curve — and the final task states —
+    // must be byte-identical to a run that was never interrupted (and
+    // never persisted anything), at 1 and 4 tuner threads.
+    for threads in [1usize, 4] {
+        let device = DeviceConfig::a5000();
+        let model = pretrained_cost_model(&device, ModelQuality::Fast);
+        let mut base =
+            Optimizer::with_options(tiny_network(), model.clone(), device, quick_options(threads));
+        let n_rounds = base.tasks().len() + 2;
+        base.optimize_all(n_rounds, 4);
+
+        let dir = tmp_dir("resume");
+        let m = n_rounds / 2;
+        {
+            let mut first =
+                Optimizer::with_options(tiny_network(), model.clone(), device, quick_options(threads))
+                    .with_checkpointing(&dir, 1);
+            first.optimize_all(m, 4);
+            assert_eq!(first.rounds_done(), m);
+            // Dropped here: the "crash".
+        }
+        let mut resumed =
+            Optimizer::resume_from_checkpoint(tiny_network(), device, quick_options(threads), &dir)
+                .expect("resume from checkpoint");
+        assert_eq!(resumed.rounds_done(), m);
+        resumed.optimize_all(n_rounds - m, 4);
+
+        assert_eq!(history_bits(&resumed), history_bits(&base), "{threads} threads");
+        assert_eq!(resumed.tuning_time_s().to_bits(), base.tuning_time_s().to_bits());
+        assert_tasks_bit_identical(&base, &resumed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn resume_rejects_mismatched_checkpoints() {
+    let device = DeviceConfig::a5000();
+    let model = pretrained_cost_model(&device, ModelQuality::Fast);
+    let dir = tmp_dir("mismatch");
+    let mut opt = Optimizer::with_options(tiny_network(), model, device, quick_options(1))
+        .with_checkpointing(&dir, 1);
+    opt.optimize_all(1, 4);
+    // Wrong device.
+    let err = Optimizer::resume_from_checkpoint(
+        tiny_network(),
+        DeviceConfig::xavier_nx(),
+        quick_options(1),
+        &dir,
+    );
+    assert!(err.is_err(), "device mismatch must be rejected");
+    // Wrong network (different task set).
+    let other = extract_subgraphs(&models::dcgan(1));
+    let err = Optimizer::resume_from_checkpoint(other, device, quick_options(1), &dir);
+    assert!(err.is_err(), "network mismatch must be rejected");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_record_log_is_bit_identical_at_every_thread_count() {
+    // Store-disabled parity: attaching a record log that starts empty must
+    // not perturb a single bit of the run — the sink is a pure observer
+    // and replaying zero records touches neither the clock nor the RNG.
+    for threads in [1usize, 2, 4] {
+        let device = DeviceConfig::a5000();
+        let model = pretrained_cost_model(&device, ModelQuality::Fast);
+        let mut plain =
+            Optimizer::with_options(tiny_network(), model.clone(), device, quick_options(threads));
+        let n_rounds = plain.tasks().len() + 1;
+        plain.optimize_all(n_rounds, 4);
+
+        let dir = tmp_dir("empty-log");
+        let log = dir.join("records.jsonl");
+        let mut logged =
+            Optimizer::with_options(tiny_network(), model, device, quick_options(threads))
+                .with_record_log(&log)
+                .expect("open record log");
+        logged.optimize_all(n_rounds, 4);
+
+        assert_eq!(history_bits(&plain), history_bits(&logged), "{threads} threads");
+        assert_eq!(plain.tuning_time_s().to_bits(), logged.tuning_time_s().to_bits());
+        assert_tasks_bit_identical(&plain, &logged);
+        // And the log actually captured every measurement outcome.
+        let records = felix_records::read_records(&log).expect("read log");
+        let outcomes: usize =
+            logged.tasks().iter().map(|t| t.measured.len() + t.failed.len()).sum();
+        assert_eq!(records.len(), outcomes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn record_log_replay_warm_starts_a_fresh_optimizer() {
+    // Startup replay: a fresh optimizer pointed at an existing log rebuilds
+    // every task's incumbent, dedup set, replay buffer, and fault stats
+    // bit-for-bit from the records alone.
+    let device = DeviceConfig::a5000();
+    let model = pretrained_cost_model(&device, ModelQuality::Fast);
+    let dir = tmp_dir("warm-start");
+    let log = dir.join("records.jsonl");
+    let mut tuned = Optimizer::with_options(tiny_network(), model.clone(), device, quick_options(1))
+        .with_record_log(&log)
+        .expect("open record log");
+    let n_rounds = tuned.tasks().len() + 1;
+    tuned.optimize_all(n_rounds, 4);
+    assert!(tuned.tasks().iter().all(|t| !t.measured.is_empty()));
+
+    let replayed = Optimizer::with_options(tiny_network(), model, device, quick_options(1))
+        .with_record_log(&log)
+        .expect("replay record log");
+    assert_tasks_bit_identical(&tuned, &replayed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_record_log_replay_restores_fault_state() {
+    // Replay under injected faults: failures, retry counters, and sketch
+    // quarantine flags all come back from the log exactly as the live run
+    // left them.
+    let device = DeviceConfig::a5000();
+    let model = pretrained_cost_model(&device, ModelQuality::Fast);
+    let dir = tmp_dir("chaos-replay");
+    let log = dir.join("records.jsonl");
+    let mut tuned = Optimizer::with_options(tiny_network(), model.clone(), device, quick_options(1))
+        .with_fault_plan(FaultPlan::chaos(0x7A5, 0.3))
+        .with_record_log(&log)
+        .expect("open record log");
+    let n_rounds = tuned.tasks().len() * 2;
+    tuned.optimize_all(n_rounds, 6);
+    let failures: usize = tuned.tasks().iter().map(|t| t.fault_stats.failures()).sum();
+    let retries: usize = tuned.tasks().iter().map(|t| t.fault_stats.retries).sum();
+    assert!(failures + retries > 0, "chaos must actually inject faults");
+
+    let replayed = Optimizer::with_options(tiny_network(), model, device, quick_options(1))
+        .with_record_log(&log)
+        .expect("replay record log");
+    assert_tasks_bit_identical(&tuned, &replayed);
+    for (ta, tb) in tuned.tasks().iter().zip(replayed.tasks()) {
+        for sketch in 0..ta.sketches.len() {
+            assert_eq!(ta.is_quarantined(sketch), tb.is_quarantined(sketch));
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -25,6 +25,34 @@ use rand::Rng;
 /// The layer widths of the cost model (4 linear layers, as in TenSet).
 pub const LAYER_SIZES: [usize; 5] = [FEATURE_COUNT, 256, 256, 256, 1];
 
+/// Ascending total order with every NaN ranked *after* every number.
+///
+/// The ranking sorts of the search pipeline use this instead of
+/// `partial_cmp(..).expect(..)`: one NaN prediction from a diverging
+/// fine-tune must lose the ranking, not abort the whole tuning run. For
+/// non-NaN inputs this is `f64::total_cmp`, which agrees with `partial_cmp`
+/// everywhere except the (harmless) `-0.0 < 0.0` tie-break.
+pub fn total_cmp_nan_last(a: &f64, b: &f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => a.total_cmp(b),
+    }
+}
+
+/// Descending total order with every NaN ranked *after* every number — the
+/// "best score first" companion of [`total_cmp_nan_last`]. Note NaN sorts
+/// last under both orders: it is ranked as the worst value, not mirrored.
+pub fn total_cmp_desc_nan_last(a: &f64, b: &f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.total_cmp(a),
+    }
+}
+
 /// Converts a measured latency to the training target score (higher =
 /// faster).
 pub fn latency_to_score(latency_ms: f64) -> f64 {
@@ -726,6 +754,28 @@ mod tests {
         let (s, g) = mlp.input_gradient(&x);
         assert_eq!(one[0].0.to_bits(), s.to_bits());
         assert_eq!(one[0].1, g);
+    }
+
+    #[test]
+    fn nan_aware_orders_rank_nan_last() {
+        use std::cmp::Ordering;
+        let mut asc = [2.0, f64::NAN, -1.0, 0.5];
+        asc.sort_by(total_cmp_nan_last);
+        assert_eq!(&asc[..3], &[-1.0, 0.5, 2.0]);
+        assert!(asc[3].is_nan());
+        let mut desc = [2.0, f64::NAN, -1.0, 0.5];
+        desc.sort_by(total_cmp_desc_nan_last);
+        assert_eq!(&desc[..3], &[2.0, 0.5, -1.0]);
+        assert!(desc[3].is_nan());
+        assert_eq!(total_cmp_nan_last(&f64::NAN, &f64::NAN), Ordering::Equal);
+        // max_by with the swapped-argument descending order never picks NaN.
+        let best = [f64::NAN, 1.0, f64::NAN, 3.0, 2.0]
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| total_cmp_desc_nan_last(&b.1, &a.1))
+            .map(|(i, _)| i);
+        assert_eq!(best, Some(3));
     }
 
     #[test]

@@ -134,7 +134,7 @@ pub fn rank_correlation(mlp: &Mlp, samples: &[Sample]) -> f64 {
 
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite"));
+    idx.sort_by(|&a, &b| crate::total_cmp_nan_last(&xs[a], &xs[b]));
     let mut r = vec![0.0; xs.len()];
     for (rank, &i) in idx.iter().enumerate() {
         r[i] = rank as f64;
@@ -257,5 +257,14 @@ mod tests {
     fn spearman_basics() {
         assert!((spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-12);
         assert!((spearman(&[1.0, 2.0, 3.0], &[30.0, 20.0, 10.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_correlation_tolerates_nan_predictions() {
+        // NaN predictions must not panic the ranking (the old
+        // `partial_cmp(..).expect("finite scores")` comparator aborted
+        // here); NaN ranks sort last, so the correlation stays finite.
+        assert!(spearman(&[f64::NAN, 2.0, 1.0], &[3.0, 2.0, 1.0]).is_finite());
+        assert!(spearman(&[f64::NAN, f64::NAN, f64::NAN], &[3.0, 2.0, 1.0]).is_finite());
     }
 }

@@ -1,0 +1,367 @@
+//! The durable tuning-record store.
+//!
+//! Real autotuners treat measurement records as the durable asset: Ansor
+//! replays its JSON log files to warm-start search, and TenSet is built
+//! entirely out of persisted records. This crate gives the reproduction the
+//! same property with two primitives:
+//!
+//! - [`RecordLog`] — an append-only JSONL log of every hardware measurement
+//!   (one [`TuningRecord`] per line). Appends are flushed per record, so a
+//!   crash loses at most the record being written; the reader recovers the
+//!   intact prefix of a truncated log without error.
+//! - [`write_document`] / [`read_document`] — crash-safe whole-document
+//!   persistence for checkpoints: the document is written to a temporary
+//!   file, fsynced, and renamed into place, so a reader never observes a
+//!   torn checkpoint.
+//!
+//! Everything is dependency-free; JSON comes from the in-crate [`json`]
+//! module, whose number formatting round-trips every finite `f64`
+//! bit-exactly (the foundation of the byte-identical resume guarantee).
+
+pub mod json;
+
+pub use json::Json;
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// How a logged measurement ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RecordOutcome {
+    /// The measurement succeeded with this latency in milliseconds.
+    Ok(f64),
+    /// The measurement failed after exhausting retries; the payload is the
+    /// fault label (e.g. `"timeout"` — see `felix_sim::FaultKind::label`).
+    Fault(String),
+}
+
+impl RecordOutcome {
+    /// The latency if the measurement succeeded.
+    pub fn latency_ms(&self) -> Option<f64> {
+        match self {
+            RecordOutcome::Ok(l) => Some(*l),
+            RecordOutcome::Fault(_) => None,
+        }
+    }
+}
+
+/// One persisted measurement: everything needed to replay it into a fresh
+/// search state (and to audit a tuning run after the fact).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuningRecord {
+    /// Canonical task identity: [`task_key`] of the workload key + device.
+    pub task_key: u64,
+    /// Human-readable task name (display only; matching uses `task_key`).
+    pub task_name: String,
+    /// Sketch index within the task.
+    pub sketch: usize,
+    /// Sketch name, validated on replay so records from a stale sketch
+    /// generator are skipped instead of corrupting the search state.
+    pub sketch_name: String,
+    /// The concrete schedule-variable assignment.
+    pub values: Vec<f64>,
+    /// Measured latency or fault label.
+    pub outcome: RecordOutcome,
+    /// Retry attempts this candidate consumed before its final outcome.
+    pub retries: usize,
+    /// Simulated tuning-clock time when the measurement completed.
+    pub time_s: f64,
+}
+
+impl TuningRecord {
+    /// Serializes the record as a single JSON line (no newline).
+    pub fn to_json(&self) -> Json {
+        let (latency, fault) = match &self.outcome {
+            RecordOutcome::Ok(l) => (Json::Num(*l), Json::Null),
+            RecordOutcome::Fault(kind) => (Json::Null, Json::Str(kind.clone())),
+        };
+        Json::obj(vec![
+            ("task", Json::u64_hex(self.task_key)),
+            ("name", Json::Str(self.task_name.clone())),
+            ("sketch", Json::Num(self.sketch as f64)),
+            ("sketch_name", Json::Str(self.sketch_name.clone())),
+            (
+                "values",
+                Json::Arr(self.values.iter().map(|&v| Json::Num(v)).collect()),
+            ),
+            ("latency_ms", latency),
+            ("fault", fault),
+            ("retries", Json::Num(self.retries as f64)),
+            ("time_s", Json::Num(self.time_s)),
+        ])
+    }
+
+    /// Decodes a record parsed from one log line.
+    pub fn from_json(doc: &Json) -> Option<TuningRecord> {
+        let outcome = match doc.get("latency_ms") {
+            Some(Json::Num(l)) => RecordOutcome::Ok(*l),
+            _ => RecordOutcome::Fault(doc.get("fault")?.as_str()?.to_string()),
+        };
+        Some(TuningRecord {
+            task_key: doc.get("task")?.as_u64_hex()?,
+            task_name: doc.get("name")?.as_str()?.to_string(),
+            sketch: doc.get("sketch")?.as_usize()?,
+            sketch_name: doc.get("sketch_name")?.as_str()?.to_string(),
+            values: doc
+                .get("values")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_f64)
+                .collect::<Option<Vec<f64>>>()?,
+            outcome,
+            retries: doc.get("retries")?.as_usize()?,
+            time_s: doc.get("time_s")?.as_f64()?,
+        })
+    }
+}
+
+/// Canonical task identity: an FNV-1a hash over the workload key (the
+/// subgraph's stable dedup key) and the device name, so a log can hold
+/// records for many networks and devices and each task replays only its
+/// own.
+pub fn task_key(workload_key: &str, device_name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    mix(workload_key.as_bytes());
+    mix(b"\x00");
+    mix(device_name.as_bytes());
+    h
+}
+
+/// An append-only JSONL measurement log.
+///
+/// The writer flushes every record, so an interrupted run loses at most the
+/// line being written when the process died. [`RecordLog::read_records`]
+/// tolerates exactly that failure mode: a record counts only if its line is
+/// newline-terminated and parses, so a truncated tail is skipped silently
+/// and every intact record before it is recovered.
+#[derive(Debug)]
+pub struct RecordLog {
+    path: PathBuf,
+    writer: BufWriter<File>,
+}
+
+impl RecordLog {
+    /// Opens (creating if needed) a log at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from opening the file.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<RecordLog> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(RecordLog { path, writer: BufWriter::new(file) })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and flushes it to the OS. After `append` returns,
+    /// a crash of this process can no longer lose the record.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing.
+    pub fn append(&mut self, record: &TuningRecord) -> std::io::Result<()> {
+        let mut line = record.to_json().write();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Reads every intact record currently in the log (including records
+    /// appended by earlier processes). A truncated or corrupt tail is
+    /// ignored; corruption *before* intact records (torn middle lines from
+    /// e.g. concurrent writers) is skipped line-wise the same way.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from reading the file.
+    pub fn read_records(&self) -> std::io::Result<Vec<TuningRecord>> {
+        read_records(&self.path)
+    }
+}
+
+/// Reads the intact records of a JSONL log at `path` (see
+/// [`RecordLog::read_records`]). A missing file reads as an empty log.
+///
+/// # Errors
+///
+/// Returns I/O errors other than the file not existing.
+pub fn read_records(path: impl AsRef<Path>) -> std::io::Result<Vec<TuningRecord>> {
+    let mut bytes = Vec::new();
+    match File::open(path.as_ref()) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    }
+    let mut out = Vec::new();
+    // Only newline-terminated lines count: a line missing its terminator is
+    // by definition the torn tail of an interrupted append.
+    for line in bytes.split_inclusive(|&b| b == b'\n') {
+        let Some(line) = line.strip_suffix(b"\n") else { break };
+        let Ok(text) = std::str::from_utf8(line) else { continue };
+        if text.trim().is_empty() {
+            continue;
+        }
+        if let Some(rec) = Json::parse(text).ok().as_ref().and_then(TuningRecord::from_json)
+        {
+            out.push(rec);
+        }
+    }
+    Ok(out)
+}
+
+/// Atomically persists a JSON document at `path`: the bytes are written to
+/// a sibling temporary file, fsynced, and renamed over the target, so a
+/// concurrent or post-crash reader sees either the old document or the new
+/// one — never a torn mix.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing, syncing, or renaming.
+pub fn write_document(path: impl AsRef<Path>, doc: &Json) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(doc.write().as_bytes())?;
+        f.write_all(b"\n")?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads a JSON document written by [`write_document`].
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, or `InvalidData` on malformed JSON.
+pub fn read_document(path: impl AsRef<Path>) -> std::io::Result<Json> {
+    let text = std::fs::read_to_string(path)?;
+    Json::parse(text.trim_end_matches('\n'))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "felix-records-{tag}-{}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn sample_record(i: usize) -> TuningRecord {
+        TuningRecord {
+            task_key: task_key("dense[256]", "RTX A5000"),
+            task_name: "dense[256, 512]".to_string(),
+            sketch: i % 2,
+            sketch_name: "multi-level-tiling".to_string(),
+            values: vec![2.0, 16.0, 4.0, i as f64],
+            outcome: if i.is_multiple_of(3) {
+                RecordOutcome::Fault("timeout".to_string())
+            } else {
+                RecordOutcome::Ok(1.25 + i as f64 * 0.1)
+            },
+            retries: i % 2,
+            time_s: 3.5 * i as f64 + 0.125,
+        }
+    }
+
+    #[test]
+    fn append_and_read_round_trips() {
+        let path = tmp_path("roundtrip");
+        let mut log = RecordLog::open(&path).expect("open");
+        let records: Vec<TuningRecord> = (0..10).map(sample_record).collect();
+        for r in &records {
+            log.append(r).expect("append");
+        }
+        assert_eq!(log.read_records().expect("read"), records);
+        // Reopening appends rather than truncating.
+        drop(log);
+        let mut log = RecordLog::open(&path).expect("reopen");
+        log.append(&sample_record(10)).expect("append");
+        assert_eq!(read_records(&path).expect("read").len(), 11);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn latencies_round_trip_bit_exactly() {
+        let path = tmp_path("bits");
+        let mut log = RecordLog::open(&path).expect("open");
+        let noisy = 1.234_567_890_123_456_7 * (1.0 + 1e-15);
+        let mut rec = sample_record(1);
+        rec.outcome = RecordOutcome::Ok(noisy);
+        rec.time_s = 0.1 + 0.2; // classic non-representable sum
+        log.append(&rec).expect("append");
+        let back = log.read_records().expect("read").remove(0);
+        let RecordOutcome::Ok(l) = back.outcome else { panic!("ok record") };
+        assert_eq!(l.to_bits(), noisy.to_bits());
+        assert_eq!(back.time_s.to_bits(), rec.time_s.to_bits());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_log_reads_empty() {
+        assert!(read_records(tmp_path("missing")).expect("read").is_empty());
+    }
+
+    #[test]
+    fn truncated_tail_recovers_prefix() {
+        let path = tmp_path("trunc");
+        let mut log = RecordLog::open(&path).expect("open");
+        for i in 0..5 {
+            log.append(&sample_record(i)).expect("append");
+        }
+        drop(log);
+        let full = std::fs::read(&path).expect("read bytes");
+        // Chop half of the final line off.
+        let cut = full.len() - 10;
+        std::fs::write(&path, &full[..cut]).expect("truncate");
+        let recovered = read_records(&path).expect("read");
+        assert_eq!(recovered, (0..4).map(sample_record).collect::<Vec<_>>());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn task_key_separates_workloads_and_devices() {
+        let a = task_key("dense[256]", "RTX A5000");
+        assert_eq!(a, task_key("dense[256]", "RTX A5000"));
+        assert_ne!(a, task_key("dense[512]", "RTX A5000"));
+        assert_ne!(a, task_key("dense[256]", "A10G"));
+        // The separator prevents boundary ambiguity.
+        assert_ne!(task_key("ab", "c"), task_key("a", "bc"));
+    }
+
+    #[test]
+    fn document_write_is_atomic_and_round_trips() {
+        let path = tmp_path("doc");
+        let doc = Json::obj(vec![
+            ("clock", Json::f64_bits(123.456)),
+            ("round", Json::Num(7.0)),
+        ]);
+        write_document(&path, &doc).expect("write");
+        assert_eq!(read_document(&path).expect("read"), doc);
+        // Overwrite goes through the same tmp+rename path.
+        let doc2 = Json::obj(vec![("round", Json::Num(8.0))]);
+        write_document(&path, &doc2).expect("rewrite");
+        assert_eq!(read_document(&path).expect("read"), doc2);
+        assert!(!path.with_extension("tmp").exists(), "tmp file renamed away");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -48,6 +48,18 @@ impl FaultKind {
         }
     }
 
+    /// Parses a label produced by [`FaultKind::label`] (used when replaying
+    /// persisted tuning records). Unknown labels return `None` so a log
+    /// written by a newer fault taxonomy degrades to skipping the record.
+    pub fn from_label(label: &str) -> Option<FaultKind> {
+        match label {
+            "build-error" => Some(FaultKind::BuildError),
+            "timeout" => Some(FaultKind::Timeout),
+            "device-error" => Some(FaultKind::DeviceError),
+            _ => None,
+        }
+    }
+
     /// Whether a retry of the same candidate can ever help. Build errors
     /// are deterministic compiler rejections; timeouts and device errors
     /// may be transient.
@@ -363,5 +375,13 @@ mod tests {
         assert!(FaultKind::Timeout.retryable());
         assert!(FaultKind::DeviceError.retryable());
         assert_eq!(FaultKind::Timeout.label(), "timeout");
+    }
+
+    #[test]
+    fn fault_labels_round_trip() {
+        for kind in [FaultKind::BuildError, FaultKind::Timeout, FaultKind::DeviceError] {
+            assert_eq!(FaultKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(FaultKind::from_label("cosmic-ray"), None);
     }
 }

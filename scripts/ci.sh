@@ -16,7 +16,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 # `cargo test -q` above, so this re-run measures execution, not compilation.
 BUDGET_S=60
 for crate in felix-egraph felix-expr felix-tir felix-graph felix-features \
-             felix-sim felix-cost felix-ansor felix felix-bench felix-repro; do
+             felix-sim felix-cost felix-records felix-ansor felix felix-bench \
+             felix-repro; do
     start=$SECONDS
     cargo test -q -p "$crate" >/dev/null
     elapsed=$((SECONDS - start))
@@ -34,6 +35,15 @@ done
 # is exercised right next to it.
 cargo test -q -p felix --test fault_tolerance chaos_tuning_converges_without_panicking
 cargo test -q -p felix --test fault_tolerance zero_fault_plan_is_byte_identical_to_unconfigured_optimizer
+
+# Resume smoke: checkpoint a tuning run every round, kill it halfway, resume
+# from disk, and byte-compare the concatenated time-vs-latency curve against
+# an uninterrupted run — at 1 and 4 tuner threads (the test loops over both).
+# Store-disabled parity (empty record log bit-identical at 1/2/4 threads) and
+# crash-truncated log recovery run alongside.
+cargo test -q -p felix --test persistence resume_from_checkpoint_matches_uninterrupted_curve
+cargo test -q -p felix --test persistence empty_record_log_is_bit_identical_at_every_thread_count
+cargo test -q -p felix-records --test log_recovery
 
 # Tape-equivalence smoke: asserts the compiled gradient tape is bit-identical
 # to the pool-walking objective oracle (no timing claims in CI).
