@@ -79,21 +79,14 @@ impl EvolutionaryProposer {
             })
             .collect()
     }
-}
 
-impl Default for EvolutionaryProposer {
-    fn default() -> Self {
-        Self::new(EvolutionConfig::default())
-    }
-}
-
-
-impl Proposer for EvolutionaryProposer {
-    fn name(&self) -> &'static str {
-        "ansor-evolutionary"
-    }
-
-    fn propose(
+    /// [`Proposer::propose`] restricted to a caller-chosen sketch set — the
+    /// descent supervisor's fallback path, which routes only the *degraded*
+    /// sketches of a task through evolutionary search while healthy sketches
+    /// keep their gradient budget. Returns an empty batch for an empty
+    /// sketch list.
+    #[allow(clippy::too_many_arguments)]
+    pub fn propose_for_sketches(
         &mut self,
         task: &SearchTask,
         model: &Mlp,
@@ -101,19 +94,21 @@ impl Proposer for EvolutionaryProposer {
         clock: &mut TuningClock,
         costs: &ClockCosts,
         rng: &mut StdRng,
+        sketches: &[usize],
     ) -> Vec<(usize, Vec<f64>)> {
+        if sketches.is_empty() || n == 0 {
+            return Vec::new();
+        }
         let cfg = self.config;
         // --- Initial population: elites from history + random samples -----
-        // Quarantined sketches (persistent measurement failures) are skipped
-        // both when seeding elites and when sampling. With no quarantine the
-        // active list is the identity permutation, so the RNG stream matches
-        // the fault-unaware search exactly.
-        let active = task.active_sketches();
         let mut pop: Vec<(usize, Vec<f64>)> = Vec::with_capacity(cfg.population);
+        // Quarantined sketches (persistent measurement failures) never seed
+        // elites, even when the caller's sketch list probes them for
+        // recovery — identical to the historical whole-task behavior.
         let mut elites: Vec<&(usize, Vec<f64>, f64)> = task
             .measured
             .iter()
-            .filter(|(sk, _, _)| !task.is_quarantined(*sk))
+            .filter(|(sk, _, _)| sketches.contains(sk) && !task.is_quarantined(*sk))
             .collect();
         elites.sort_by(|a, b| total_cmp_nan_last(&a.2, &b.2));
         let n_elite = ((cfg.population as f64 * cfg.elite_seed_frac) as usize)
@@ -122,13 +117,13 @@ impl Proposer for EvolutionaryProposer {
             pop.push((e.0, e.1.clone()));
         }
         while pop.len() < cfg.population {
-            let sk = active[rng.gen_range(0..active.len())];
+            let sk = sketches[rng.gen_range(0..sketches.len())];
             let vals = random_schedule(&task.sketches[sk].program, rng, 32);
             pop.push((sk, vals));
         }
         clock.charge_evolution(cfg.population, costs);
 
-        // --- Generations ----------------------------------------------------
+        // --- Generations --------------------------------------------------
         let mut scores = self.score_population(task, model, &pop, clock, costs);
         for _ in 0..cfg.generations {
             // Rank and keep the better half as parents.
@@ -157,7 +152,7 @@ impl Proposer for EvolutionaryProposer {
             scores = self.score_population(task, model, &pop, clock, costs);
         }
 
-        // --- Pick the top-n unmeasured candidates ---------------------------
+        // --- Pick the top-n unmeasured candidates -------------------------
         let mut order: Vec<usize> = (0..pop.len()).collect();
         order.sort_by(|&a, &b| total_cmp_desc_nan_last(&scores[a], &scores[b]));
         let mut out = Vec::with_capacity(n);
@@ -182,6 +177,36 @@ impl Proposer for EvolutionaryProposer {
             }
         }
         out
+    }
+}
+
+impl Default for EvolutionaryProposer {
+    fn default() -> Self {
+        Self::new(EvolutionConfig::default())
+    }
+}
+
+
+impl Proposer for EvolutionaryProposer {
+    fn name(&self) -> &'static str {
+        "ansor-evolutionary"
+    }
+
+    fn propose(
+        &mut self,
+        task: &SearchTask,
+        model: &Mlp,
+        n: usize,
+        clock: &mut TuningClock,
+        costs: &ClockCosts,
+        rng: &mut StdRng,
+    ) -> Vec<(usize, Vec<f64>)> {
+        // Quarantined sketches (persistent measurement failures) are skipped
+        // both when seeding elites and when sampling. With no quarantine the
+        // active list is the identity permutation, so the RNG stream matches
+        // the fault-unaware search exactly.
+        let active = task.active_sketches();
+        self.propose_for_sketches(task, model, n, clock, costs, rng, &active)
     }
 
     fn take_prediction_trace(&mut self) -> Vec<f64> {

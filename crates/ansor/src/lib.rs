@@ -58,6 +58,147 @@ impl SketchState {
     }
 }
 
+/// Which proposal algorithm a sketch is currently tuned with — the rungs of
+/// the supervisor's degradation ladder. Every sketch starts at
+/// [`SketchMode::Gradient`]; the descent supervisor escalates a sketch one
+/// rung at a time when its seeds keep failing, and de-escalates
+/// [`SketchMode::ClippedGradient`] back to full gradient descent after a
+/// clean round. [`SketchMode::Evolutionary`] is sticky: a sketch that
+/// reached the bottom rung (panicking or pathological objective, or clipped
+/// descent still diverging) stays on the discrete proposer, which cannot
+/// diverge.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SketchMode {
+    /// Full-speed gradient descent (the healthy default).
+    #[default]
+    Gradient,
+    /// Gradient descent with a tight gradient-norm clip (first rung of
+    /// degradation; recoverable).
+    ClippedGradient,
+    /// The evolutionary fallback proposer (final rung; sticky).
+    Evolutionary,
+}
+
+impl SketchMode {
+    /// Stable wire label (persisted in health records and checkpoints).
+    pub fn label(self) -> &'static str {
+        match self {
+            SketchMode::Gradient => "gd",
+            SketchMode::ClippedGradient => "gd-clipped",
+            SketchMode::Evolutionary => "evo",
+        }
+    }
+
+    /// Parses a [`Self::label`] string.
+    pub fn from_label(label: &str) -> Option<SketchMode> {
+        match label {
+            "gd" => Some(SketchMode::Gradient),
+            "gd-clipped" => Some(SketchMode::ClippedGradient),
+            "evo" => Some(SketchMode::Evolutionary),
+            _ => None,
+        }
+    }
+
+    /// The next rung down the degradation ladder.
+    pub fn escalated(self) -> SketchMode {
+        match self {
+            SketchMode::Gradient => SketchMode::ClippedGradient,
+            SketchMode::ClippedGradient | SketchMode::Evolutionary => SketchMode::Evolutionary,
+        }
+    }
+
+    /// Whether this mode still runs gradient descent.
+    pub fn uses_gradient(self) -> bool {
+        self != SketchMode::Evolutionary
+    }
+}
+
+/// What the descent supervisor observed during one `propose` call: numeric
+/// failure counters plus the per-sketch escalation/recovery decisions. A
+/// clean report is all-zero/empty — the invariant behind the healthy-run
+/// bit-parity guarantee.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HealthReport {
+    /// NaN/Inf/overflow events (objective, gradient, or feature outputs).
+    pub nonfinite_events: usize,
+    /// Monotone-divergence events over the supervisor's sliding window.
+    pub divergence_events: usize,
+    /// Seeds restarted from their dedicated RNG substreams.
+    pub seed_restarts: usize,
+    /// Gradient-norm clips applied.
+    pub grad_clips: usize,
+    /// Worker panics caught (each poisons one sketch, not the process).
+    pub panics_caught: usize,
+    /// Wall-clock descent overrun charged to the tuning clock (seconds).
+    pub deadline_overrun_s: f64,
+    /// Sketches whose every seed exhausted its restart budget this round
+    /// (escalated one rung).
+    pub exhausted_sketches: Vec<usize>,
+    /// Sketches whose objective panicked this round (escalated straight to
+    /// [`SketchMode::Evolutionary`]).
+    pub poisoned_sketches: Vec<usize>,
+    /// Sketches whose tape compiled to a pathological (non-finite at the
+    /// probe point) objective (escalated straight to
+    /// [`SketchMode::Evolutionary`]).
+    pub pathological_sketches: Vec<usize>,
+    /// Clipped-mode sketches that completed a clean descent this round
+    /// (de-escalated back to [`SketchMode::Gradient`]).
+    pub recovered_sketches: Vec<usize>,
+}
+
+impl HealthReport {
+    /// True when nothing noteworthy happened — no counters, no
+    /// escalations, no recoveries.
+    pub fn is_clean(&self) -> bool {
+        self.nonfinite_events == 0
+            && self.divergence_events == 0
+            && self.seed_restarts == 0
+            && self.grad_clips == 0
+            && self.panics_caught == 0
+            && self.deadline_overrun_s == 0.0
+            && self.exhausted_sketches.is_empty()
+            && self.poisoned_sketches.is_empty()
+            && self.pathological_sketches.is_empty()
+            && self.recovered_sketches.is_empty()
+    }
+
+    /// Sketches this report degrades (exhausted ∪ poisoned ∪ pathological,
+    /// deduplicated).
+    pub fn degraded_sketches(&self) -> Vec<usize> {
+        let mut all: Vec<usize> = self
+            .exhausted_sketches
+            .iter()
+            .chain(&self.poisoned_sketches)
+            .chain(&self.pathological_sketches)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    /// Folds another report into this one (counters add, sketch lists
+    /// union).
+    pub fn merge(&mut self, other: &HealthReport) {
+        self.nonfinite_events += other.nonfinite_events;
+        self.divergence_events += other.divergence_events;
+        self.seed_restarts += other.seed_restarts;
+        self.grad_clips += other.grad_clips;
+        self.panics_caught += other.panics_caught;
+        self.deadline_overrun_s += other.deadline_overrun_s;
+        for (dst, src) in [
+            (&mut self.exhausted_sketches, &other.exhausted_sketches),
+            (&mut self.poisoned_sketches, &other.poisoned_sketches),
+            (&mut self.pathological_sketches, &other.pathological_sketches),
+            (&mut self.recovered_sketches, &other.recovered_sketches),
+        ] {
+            dst.extend(src.iter().copied());
+            dst.sort_unstable();
+            dst.dedup();
+        }
+    }
+}
+
 /// Search state of one tuning task (fused subgraph).
 #[derive(Clone, Debug)]
 pub struct SearchTask {
@@ -95,6 +236,10 @@ pub struct SearchTask {
     /// Sketches quarantined after persistent failures; proposers skip them
     /// until a success on the sketch lifts the quarantine.
     quarantined: Vec<bool>,
+    /// Per-sketch degradation-ladder rung, updated by
+    /// [`SearchTask::apply_health`] (all-[`SketchMode::Gradient`] until the
+    /// supervisor reports trouble).
+    sketch_modes: Vec<SketchMode>,
     /// Rounds spent on this task.
     pub rounds: usize,
 }
@@ -154,6 +299,7 @@ impl SearchTask {
             measured_keys: HashSet::new(),
             fail_streak: vec![0; n_sketches],
             quarantined: vec![false; n_sketches],
+            sketch_modes: vec![SketchMode::Gradient; n_sketches],
             rounds: 0,
         }
     }
@@ -228,6 +374,61 @@ impl SearchTask {
         }
     }
 
+    /// The degradation-ladder rung of one sketch.
+    pub fn sketch_mode(&self, sketch: usize) -> SketchMode {
+        self.sketch_modes.get(sketch).copied().unwrap_or_default()
+    }
+
+    /// Per-sketch degradation-ladder rungs.
+    pub fn sketch_modes(&self) -> &[SketchMode] {
+        &self.sketch_modes
+    }
+
+    /// Overwrites the per-sketch modes — the replay path, where a persisted
+    /// health record (not a fresh supervisor decision) is authoritative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modes` does not have one entry per sketch.
+    pub fn set_sketch_modes(&mut self, modes: &[SketchMode]) {
+        assert_eq!(modes.len(), self.sketches.len(), "sketch count changed");
+        self.sketch_modes.copy_from_slice(modes);
+    }
+
+    /// Applies one round's supervisor decisions to the per-sketch modes:
+    /// exhausted sketches step one rung down the degradation ladder,
+    /// poisoned (panicking) and pathological sketches jump straight to the
+    /// evolutionary fallback, and recovered clipped sketches step back up.
+    /// Returns whether any mode changed.
+    pub fn apply_health(&mut self, report: &HealthReport) -> bool {
+        let mut changed = false;
+        let mut set = |modes: &mut Vec<SketchMode>, sk: usize, mode: SketchMode| {
+            if let Some(m) = modes.get_mut(sk) {
+                if *m != mode {
+                    *m = mode;
+                    changed = true;
+                }
+            }
+        };
+        for &sk in &report.exhausted_sketches {
+            let next = self.sketch_mode(sk).escalated();
+            set(&mut self.sketch_modes, sk, next);
+        }
+        for &sk in report
+            .poisoned_sketches
+            .iter()
+            .chain(&report.pathological_sketches)
+        {
+            set(&mut self.sketch_modes, sk, SketchMode::Evolutionary);
+        }
+        for &sk in &report.recovered_sketches {
+            if self.sketch_mode(sk) == SketchMode::ClippedGradient {
+                set(&mut self.sketch_modes, sk, SketchMode::Gradient);
+            }
+        }
+        changed
+    }
+
     /// Captures the complete mutable search state for checkpointing.
     ///
     /// `fail_streak` and `quarantined` are copied explicitly rather than
@@ -244,6 +445,7 @@ impl SearchTask {
             fault_stats: self.fault_stats,
             fail_streak: self.fail_streak.clone(),
             quarantined: self.quarantined.clone(),
+            sketch_modes: self.sketch_modes.clone(),
             rounds: self.rounds,
         }
     }
@@ -265,11 +467,13 @@ impl SearchTask {
         );
         assert_eq!(snap.fail_streak.len(), self.sketches.len(), "sketch count changed");
         assert_eq!(snap.quarantined.len(), self.sketches.len(), "sketch count changed");
+        assert_eq!(snap.sketch_modes.len(), self.sketches.len(), "sketch count changed");
         self.best_latency_ms = snap.best_latency_ms;
         self.best_schedule = snap.best_schedule;
         self.fault_stats = snap.fault_stats;
         self.fail_streak = snap.fail_streak;
         self.quarantined = snap.quarantined;
+        self.sketch_modes = snap.sketch_modes;
         self.rounds = snap.rounds;
         self.measured_keys = snap
             .measured
@@ -313,6 +517,8 @@ pub struct TaskSnapshot {
     pub fail_streak: Vec<usize>,
     /// Per-sketch quarantine flags.
     pub quarantined: Vec<bool>,
+    /// Per-sketch degradation-ladder rungs.
+    pub sketch_modes: Vec<SketchMode>,
     /// Rounds spent on the task.
     pub rounds: usize,
 }
@@ -356,12 +562,24 @@ pub struct TunerStats {
     pub measure_failures: usize,
     /// Measurement retry attempts spent this round.
     pub measure_retries: usize,
+    /// Seeds the descent supervisor restarted this round.
+    pub seed_restarts: usize,
+    /// Non-finite objective/gradient/feature events this round.
+    pub nonfinite_events: usize,
+    /// Worker panics caught and quarantined this round.
+    pub panics_caught: usize,
+    /// Sketches running degraded (below [`SketchMode::Gradient`]) after
+    /// this round.
+    pub degraded_sketches: usize,
+    /// Wall-clock descent overrun charged to the tuning clock this round
+    /// (seconds; zero unless the deadline watchdog fired).
+    pub deadline_overrun_s: f64,
 }
 
 impl TunerStats {
     /// One-line human-readable rendering for bench binaries and logs.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "steps {} ({:.0}/s, {} thr) cand {} viol {:.0}% dup {:.0}% cache {}/{} tape {}/{} nodes ({:.1} ms compile) fail {} retry {}",
             self.grad_steps,
             self.steps_per_sec,
@@ -376,7 +594,23 @@ impl TunerStats {
             self.tape_compile_s * 1e3,
             self.measure_failures,
             self.measure_retries,
-        )
+        );
+        if self.seed_restarts > 0
+            || self.nonfinite_events > 0
+            || self.panics_caught > 0
+            || self.degraded_sketches > 0
+            || self.deadline_overrun_s > 0.0
+        {
+            line.push_str(&format!(
+                " health[restart {} nonfinite {} panic {} degraded {} overrun {:.1}s]",
+                self.seed_restarts,
+                self.nonfinite_events,
+                self.panics_caught,
+                self.degraded_sketches,
+                self.deadline_overrun_s,
+            ));
+        }
+        line
     }
 }
 
@@ -410,6 +644,13 @@ pub trait Proposer {
         Vec::new()
     }
 
+    /// Drains the supervisor health report of the last `propose` call.
+    /// Default: a clean report (proposers without a descent phase cannot
+    /// diverge).
+    fn take_health(&mut self) -> HealthReport {
+        HealthReport::default()
+    }
+
     /// Informs the proposer how the measurement of its last `propose` batch
     /// went, so failure/retry counters can land in the same per-round stats
     /// record as the search counters. Default: ignored.
@@ -438,6 +679,26 @@ pub struct MeasurementEvent<'a> {
     pub time_s: f64,
 }
 
+/// One round's supervisor health report the moment its degradation
+/// decisions were applied to the task, as delivered to a
+/// [`MeasurementSink`].
+#[derive(Clone, Debug)]
+pub struct HealthEvent<'a> {
+    /// The task's stable workload key ([`SearchTask::workload_key`]).
+    pub workload_key: &'a str,
+    /// The task's display name.
+    pub task_name: &'a str,
+    /// Tuning round (0-based) whose descent produced the report.
+    pub round: usize,
+    /// The supervisor's counters and escalation/recovery decisions.
+    pub report: &'a HealthReport,
+    /// Per-sketch modes *after* applying the report — the authoritative
+    /// state a replay restores.
+    pub modes: &'a [SketchMode],
+    /// Simulated tuning-clock time when the report was recorded.
+    pub time_s: f64,
+}
+
 /// A consumer of measurement events — the hook a durable record log (or any
 /// other observer) attaches to the tuning loop. Sinks only *observe*: they
 /// must not touch the RNG or the clock, so a run with a sink attached stays
@@ -445,6 +706,11 @@ pub struct MeasurementEvent<'a> {
 pub trait MeasurementSink {
     /// Called once per finished measurement, in execution order.
     fn record(&mut self, event: &MeasurementEvent<'_>);
+
+    /// Called once per round whose health report is non-clean or changed a
+    /// sketch mode (fault-free rounds emit nothing, keeping their logs
+    /// byte-identical to pre-supervisor ones). Default: ignored.
+    fn record_health(&mut self, _event: &HealthEvent<'_>) {}
 }
 
 /// Retry-with-backoff policy for failed measurements, charged against the
@@ -478,8 +744,9 @@ impl MeasurePolicy {
     }
 }
 
-/// What one call of [`tune_task_round`] did with its measurement budget.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// What one call of [`tune_task_round`] did with its measurement budget,
+/// plus the descent supervisor's health report for the round.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct RoundReport {
     /// Candidates measured successfully.
     pub measured: usize,
@@ -487,6 +754,9 @@ pub struct RoundReport {
     pub failed: usize,
     /// Retry attempts spent (including retries that eventually succeeded).
     pub retries: usize,
+    /// The proposer's supervisor report (clean for proposers without a
+    /// descent phase and for healthy rounds).
+    pub health: HealthReport,
 }
 
 /// Options of the round-based tuner.
@@ -554,8 +824,26 @@ pub fn tune_task_round_with_sink(
     mut sink: Option<&mut (dyn MeasurementSink + '_)>,
 ) -> RoundReport {
     let candidates = proposer.propose(task, model, opts.measurements_per_round, clock, costs, rng);
+    // Apply the supervisor's escalation/recovery decisions before anything
+    // else consumes the round: degradation takes effect from the next
+    // propose call, and the decision point is what the record log persists
+    // (so a replay re-applies the exact same ladder moves).
+    let health = proposer.take_health();
+    let modes_changed = task.apply_health(&health);
+    if modes_changed || !health.is_clean() {
+        if let Some(s) = sink.as_deref_mut() {
+            s.record_health(&HealthEvent {
+                workload_key: &task.workload_key,
+                task_name: &task.name,
+                round: task.rounds,
+                report: &health,
+                modes: task.sketch_modes(),
+                time_s: clock.now_s(),
+            });
+        }
+    }
     let mut new_samples = Vec::new();
-    let mut report = RoundReport::default();
+    let mut report = RoundReport { health, ..RoundReport::default() };
     for (sketch, vals) in candidates {
         if task.already_measured(sketch, &vals) {
             continue;
@@ -1012,6 +1300,84 @@ mod tests {
         assert_eq!(without.measured, with_sink.measured);
         assert_eq!(without.best_latency_ms.to_bits(), with_sink.best_latency_ms.to_bits());
         assert_eq!(clock2.now_s().to_bits(), clock.now_s().to_bits());
+    }
+
+    #[test]
+    fn sketch_mode_labels_round_trip() {
+        for mode in [SketchMode::Gradient, SketchMode::ClippedGradient, SketchMode::Evolutionary] {
+            assert_eq!(SketchMode::from_label(mode.label()), Some(mode));
+        }
+        assert_eq!(SketchMode::from_label("warp-drive"), None);
+    }
+
+    #[test]
+    fn apply_health_walks_the_degradation_ladder() {
+        let sim = Simulator::new(DeviceConfig::a5000());
+        let mut task = SearchTask::from_task(&dense_task(), &sim);
+        assert!(task.sketch_modes().iter().all(|&m| m == SketchMode::Gradient));
+
+        // Clean report: no change.
+        assert!(!task.apply_health(&HealthReport::default()));
+
+        // Exhausted restart budget: one rung down (GD -> clipped GD).
+        let exhausted = HealthReport { exhausted_sketches: vec![0], ..Default::default() };
+        assert!(task.apply_health(&exhausted));
+        assert_eq!(task.sketch_mode(0), SketchMode::ClippedGradient);
+        assert_eq!(task.sketch_mode(1), SketchMode::Gradient);
+
+        // Exhausted again while clipped: bottom rung (evolutionary).
+        assert!(task.apply_health(&exhausted));
+        assert_eq!(task.sketch_mode(0), SketchMode::Evolutionary);
+
+        // A panic jumps straight to evolutionary regardless of rung.
+        let poisoned = HealthReport { poisoned_sketches: vec![1], ..Default::default() };
+        assert!(task.apply_health(&poisoned));
+        assert_eq!(task.sketch_mode(1), SketchMode::Evolutionary);
+
+        // Recovery only lifts the clipped rung; evolutionary is sticky.
+        let recovered = HealthReport { recovered_sketches: vec![0, 1], ..Default::default() };
+        assert!(!task.apply_health(&recovered));
+        assert_eq!(task.sketch_mode(0), SketchMode::Evolutionary);
+        assert_eq!(task.sketch_mode(1), SketchMode::Evolutionary);
+
+        // Recovery from clipped mode steps back up to full gradient.
+        task.set_sketch_modes(&[SketchMode::ClippedGradient, SketchMode::Evolutionary]);
+        assert!(task.apply_health(&HealthReport {
+            recovered_sketches: vec![0],
+            ..Default::default()
+        }));
+        assert_eq!(task.sketch_mode(0), SketchMode::Gradient);
+    }
+
+    #[test]
+    fn health_report_merge_and_cleanliness() {
+        let mut a = HealthReport { seed_restarts: 2, exhausted_sketches: vec![1], ..Default::default() };
+        let b = HealthReport {
+            seed_restarts: 1,
+            nonfinite_events: 4,
+            exhausted_sketches: vec![0, 1],
+            poisoned_sketches: vec![0],
+            ..Default::default()
+        };
+        assert!(HealthReport::default().is_clean());
+        assert!(!a.is_clean());
+        a.merge(&b);
+        assert_eq!(a.seed_restarts, 3);
+        assert_eq!(a.nonfinite_events, 4);
+        assert_eq!(a.exhausted_sketches, vec![0, 1], "sketch lists union");
+        assert_eq!(a.degraded_sketches(), vec![0, 1]);
+    }
+
+    #[test]
+    fn degraded_sketch_modes_survive_snapshot_restore() {
+        let sim = Simulator::new(DeviceConfig::a5000());
+        let mut task = SearchTask::from_task(&dense_task(), &sim);
+        task.apply_health(&HealthReport { poisoned_sketches: vec![1], ..Default::default() });
+        let snap = task.snapshot();
+        let mut fresh = SearchTask::from_task(&dense_task(), &sim);
+        fresh.restore(snap);
+        assert_eq!(fresh.sketch_modes(), task.sketch_modes());
+        assert_eq!(fresh.sketch_mode(1), SketchMode::Evolutionary);
     }
 
     #[test]

@@ -63,7 +63,7 @@ impl Proposer for StubProposer {
     }
 
     fn note_measurement(&mut self, report: &RoundReport) {
-        self.reports.push(*report);
+        self.reports.push(report.clone());
     }
 }
 

@@ -13,7 +13,7 @@
 //! `results/BENCH_tape.json`.
 
 use felix::parallel::effective_threads;
-use felix::{EvalScratch, FelixOptions, GradientProposer, SketchObjective};
+use felix::{EvalScratch, FelixOptions, GradientProposer, SketchObjective, SupervisorOptions};
 use felix_ansor::{Proposer, SearchTask, TunerStats};
 use felix_bench::{cached_model, write_result, Scale};
 use felix_graph::{Op, Subgraph, Task};
@@ -124,6 +124,71 @@ fn tape_bench(model: &felix_cost::Mlp, smoke: bool) {
     }
 }
 
+/// Supervised vs unsupervised descent on the healthy path. The candidate
+/// sets must be bit-identical in every mode (supervision observes a healthy
+/// descent, it never perturbs one); in timed mode the supervised loop must
+/// additionally cost less than 2% extra wall clock.
+fn supervision_bench(search: &SearchTask, model: &felix_cost::Mlp, smoke: bool) {
+    let (n_seeds, n_steps, rounds) = if smoke { (4, 30, 1) } else { (8, 120, 2) };
+    // Times only the Adam descent loop (via `TunerStats`): supervision
+    // lives entirely inside it, and the rest of `propose` (tape compile,
+    // candidate ranking, neighbor scoring) is identical in both modes —
+    // including it would just add noise around the measured quantity.
+    let run = |enabled: bool| -> (Vec<(usize, Vec<f64>)>, f64) {
+        let mut prop = GradientProposer::new(FelixOptions {
+            n_seeds,
+            n_steps,
+            threads: 1,
+            supervisor: SupervisorOptions { enabled, ..Default::default() },
+            ..Default::default()
+        });
+        let mut clock = TuningClock::new();
+        let costs = ClockCosts::default();
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let mut cands = Vec::new();
+        for _ in 0..rounds {
+            cands.extend(prop.propose(search, model, 16, &mut clock, &costs, &mut rng));
+        }
+        let descent_s = prop
+            .take_stats()
+            .iter()
+            .map(|s| s.grad_steps as f64 / s.steps_per_sec)
+            .sum();
+        (cands, descent_s)
+    };
+    let (c_off, _) = run(false);
+    let (c_on, _) = run(true);
+    assert_eq!(c_on, c_off, "supervision must be invisible on a healthy run");
+    println!("\nsupervision: healthy-path candidates bit-identical (on vs off)");
+    if smoke {
+        return;
+    }
+    // Best-of-9 per mode, interleaved so machine drift (thermal, noisy
+    // neighbors) hits both modes alike before the tight bound.
+    let mut t_off = f64::INFINITY;
+    let mut t_on = f64::INFINITY;
+    for _ in 0..9 {
+        t_off = t_off.min(run(false).1);
+        t_on = t_on.min(run(true).1);
+    }
+    let overhead = (t_on - t_off) / t_off;
+    println!(
+        "  descent: off {t_off:.3} s   on {t_on:.3} s   overhead {:+.2}%",
+        overhead * 100.0
+    );
+    write_result(
+        "BENCH_supervision.json",
+        &format!(
+            "{{\n  \"unsupervised_s\": {t_off:.6},\n  \"supervised_s\": {t_on:.6},\n  \"overhead\": {overhead:.6},\n  \"smoke\": {smoke}\n}}\n"
+        ),
+    );
+    assert!(
+        overhead < 0.02,
+        "supervision overhead {:.2}% must stay < 2%",
+        overhead * 100.0
+    );
+}
+
 fn mlp_micro(model: &felix_cost::Mlp) {
     // Batched inference vs one-at-a-time dispatch on identical inputs.
     let mut rng = StdRng::seed_from_u64(9);
@@ -179,12 +244,6 @@ fn main() {
     let dev = DeviceConfig::a5000();
     let model = cached_model(&dev, scale);
     tape_bench(&model, smoke);
-    if smoke {
-        println!("smoke mode: equivalence asserts passed; skipping timed sections");
-        return;
-    }
-    mlp_micro(&model);
-
     let sim = Simulator::new(dev);
     let task = Task {
         subgraph: Subgraph {
@@ -193,6 +252,12 @@ fn main() {
         weight: 1,
     };
     let search = SearchTask::from_task(&task, &sim);
+    supervision_bench(&search, &model, smoke);
+    if smoke {
+        println!("smoke mode: equivalence asserts passed; skipping timed sections");
+        return;
+    }
+    mlp_micro(&model);
     let (n_seeds, n_steps, rounds) = if scale == Scale::Fast { (8, 60, 2) } else { (16, 200, 3) };
     // Always exercise the 2-thread path (even on a single-core host, where
     // it shows parity rather than speedup); add the auto setting when it

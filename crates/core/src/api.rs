@@ -130,10 +130,21 @@ impl Optimizer {
         self
     }
 
+    /// Overrides the descent-supervision options
+    /// ([`crate::health::SupervisorOptions`]): seed health monitoring,
+    /// deterministic restarts, panic isolation, and degradation to the
+    /// evolutionary fallback. Supervision is on by default with thresholds
+    /// a healthy run never trips.
+    pub fn with_supervisor(mut self, supervisor: crate::health::SupervisorOptions) -> Self {
+        self.proposer.options.supervisor = supervisor;
+        self
+    }
+
     /// Attaches a durable tuning-record log at `path`. Existing records
     /// matching this optimizer's tasks (by workload key + device) are
     /// replayed into the search state first — rebuilding each task's
-    /// incumbent, dedup set, fault statistics, and replay buffer — and the
+    /// incumbent, dedup set, fault statistics, supervision modes, and
+    /// replay buffer — and the
     /// cost model is warm-started on the replayed measurements with the same
     /// fine-tuning hyperparameters a live round uses. New measurements are
     /// then appended to the log as they finish.
@@ -147,7 +158,7 @@ impl Optimizer {
     /// Returns any I/O error from reading or opening the log.
     pub fn with_record_log(mut self, path: impl AsRef<Path>) -> std::io::Result<Self> {
         let path = path.as_ref();
-        let records = felix_records::read_records(path)?;
+        let records = felix_records::read_all_records(path)?;
         let device = self.sim.device.name;
         for task in &mut self.tasks {
             let n_new = persist::replay_records(task, &records, device);

@@ -26,9 +26,13 @@
 //! count** — `threads: 1` is the proof path, `threads: 0` (one worker per
 //! core) the fast path.
 
+use crate::health::{restart_salt, restart_stream, ChunkHealth, SeedHealth, SupervisorOptions};
 use crate::objective::{EvalScratch, PipelineOptions, SketchObjective};
 use crate::parallel::{effective_threads, parallel_map};
-use felix_ansor::{Proposer, SearchTask, TunerStats};
+use felix_ansor::evolution::EvolutionConfig;
+use felix_ansor::{
+    EvolutionaryProposer, HealthReport, Proposer, SearchTask, SketchMode, TunerStats,
+};
 use felix_cost::{log_transform, total_cmp_desc_nan_last, total_cmp_nan_last, AdamOpt, Mlp};
 use felix_sim::clock::ClockCosts;
 use felix_sim::TuningClock;
@@ -62,6 +66,11 @@ pub struct FelixOptions {
     pub threads: usize,
     /// Which rewriting stages to apply (ablation knob; all on by default).
     pub pipeline: PipelineOptions,
+    /// Descent supervision: per-seed health monitoring, deterministic
+    /// restarts, panic isolation, and graceful degradation. The defaults
+    /// never trip on a healthy run, so enabling supervision leaves
+    /// fault-free searches bit-identical.
+    pub supervisor: SupervisorOptions,
 }
 
 impl Default for FelixOptions {
@@ -73,16 +82,18 @@ impl Default for FelixOptions {
             lr: 0.08,
             threads: 0,
             pipeline: PipelineOptions::default(),
+            supervisor: SupervisorOptions::default(),
         }
     }
 }
 
-/// One descending schedule: its sketch, current y-space point, and Adam
-/// state.
+/// One descending schedule: its sketch, current y-space point, Adam state,
+/// and supervision state.
 struct Seed {
     sketch: usize,
     y: Vec<f64>,
     opt: AdamOpt,
+    health: SeedHealth,
 }
 
 /// The gradient-descent candidate proposer (Felix's search algorithm).
@@ -92,6 +103,7 @@ pub struct GradientProposer {
     objectives: HashMap<String, Vec<SketchObjective>>,
     trace: Vec<f64>,
     stats: Vec<TunerStats>,
+    health: HealthReport,
 }
 
 impl GradientProposer {
@@ -102,6 +114,7 @@ impl GradientProposer {
             objectives: HashMap::new(),
             trace: Vec::new(),
             stats: Vec::new(),
+            health: HealthReport::default(),
         }
     }
 
@@ -161,6 +174,48 @@ fn score_candidates(
     .concat()
 }
 
+/// Runs `f`, catching panics when supervision is `enabled` (returning
+/// `false` on a caught panic). With supervision off, panics propagate
+/// exactly as before the supervisor existed.
+fn run_guarded(enabled: bool, f: impl FnOnce()) -> bool {
+    if !enabled {
+        f();
+        return true;
+    }
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).is_ok()
+}
+
+/// Restarts one seed from its dedicated RNG substream: a fresh random
+/// schedule drawn from `restart_stream(salt, global_idx, restart_count)`
+/// and a fresh Adam state with the learning rate backed off by
+/// `trust_backoff^restarts` (a shrinking trust region). Never touches the
+/// master RNG, so seeds that don't restart are unaffected. Freezes the
+/// seed instead when its restart budget is spent.
+#[allow(clippy::too_many_arguments)]
+fn restart_seed(
+    seed: &mut Seed,
+    task: &SearchTask,
+    objectives: &[SketchObjective],
+    sup: &SupervisorOptions,
+    base_lr: f64,
+    salt: u64,
+    global_idx: usize,
+    health: &mut ChunkHealth,
+) {
+    if !seed.health.consume_restart(sup.restart_budget) {
+        return;
+    }
+    health.seed_restarts += 1;
+    let stream = restart_stream(salt, global_idx, seed.health.restarts);
+    let mut srng = StdRng::seed_from_u64(stream);
+    let st = &task.sketches[seed.sketch];
+    let x = felix_cost::random_schedule(&st.program, &mut srng, 64);
+    seed.y = objectives[seed.sketch].to_y_space(&x);
+    let lr = base_lr * sup.trust_backoff.powi(seed.health.restarts as i32);
+    let nv = seed.y.len();
+    seed.opt = AdamOpt::new(nv, lr);
+}
+
 /// Runs the full Adam descent for one worker's seeds. Seeds are grouped by
 /// sketch (stable first-seen order); per step each group runs ONE batched
 /// forward tape sweep across its lanes, the chunk makes ONE matrix-shaped
@@ -169,16 +224,32 @@ fn score_candidates(
 /// buffers live outside the step loop, so steady state allocates only the
 /// per-step score/history rows. Lane layout never changes accumulation
 /// order, so scores and trajectories are bit-identical to a serial
-/// seed-at-a-time descent. Returns per-step predicted scores and
-/// `(sketch, y)` trajectory snapshots, both in seed order.
-#[allow(clippy::type_complexity)]
+/// seed-at-a-time descent. Returns per-step predicted scores, `(sketch, y)`
+/// trajectory snapshots (both in seed order), and the chunk's supervision
+/// counters.
+///
+/// With supervision enabled, every step of every lane is health-checked
+/// (non-finite objective/gradient/tape roots, monotone divergence,
+/// gradient-norm clip) and each sketch group's tape work runs inside a
+/// panic-isolation boundary: a panicking sketch is poisoned — its lanes
+/// freeze and their feature rows zero-fill so the shared MLP batch keeps
+/// its shape — while every other sketch's descent continues untouched.
+/// `base` is the chunk's first global seed index (chunks are contiguous,
+/// so `base + i` is thread-count invariant), used to derive restart RNG
+/// substreams.
+#[allow(clippy::type_complexity, clippy::too_many_lines, clippy::too_many_arguments)]
 fn descend_chunk(
     objectives: &[SketchObjective],
+    task: &SearchTask,
     model: &Mlp,
-    lambda: f64,
-    n_steps: usize,
+    opts: &FelixOptions,
+    modes: &[SketchMode],
+    salt: u64,
+    base: usize,
     seeds: &mut [Seed],
-) -> (Vec<Vec<f64>>, Vec<Vec<(usize, Vec<f64>)>>) {
+) -> (Vec<Vec<f64>>, Vec<Vec<(usize, Vec<f64>)>>, ChunkHealth) {
+    let sup = opts.supervisor;
+    let mut health = ChunkHealth::default();
     let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
     for (i, s) in seeds.iter().enumerate() {
         match groups.iter_mut().find(|(sk, _)| *sk == s.sketch) {
@@ -186,42 +257,147 @@ fn descend_chunk(
             None => groups.push((s.sketch, vec![i])),
         }
     }
+    if sup.enabled {
+        for (sk, lanes) in &groups {
+            health.sketch_mut(*sk).lanes += lanes.len();
+        }
+    }
+    let mut poisoned = vec![false; groups.len()];
     let mut scratches: Vec<EvalScratch> = vec![EvalScratch::default(); groups.len()];
     let mut feats: Vec<Vec<f64>> = vec![Vec::new(); seeds.len()];
     let mut grad: Vec<f64> = Vec::new();
-    let mut scores = Vec::with_capacity(n_steps);
-    let mut history = Vec::with_capacity(n_steps);
-    for _ in 0..n_steps {
-        for ((sk, lanes), scratch) in groups.iter().zip(&mut scratches) {
-            let obj = &objectives[*sk];
-            obj.begin_batch(scratch, lanes.len());
-            for (lane, &i) in lanes.iter().enumerate() {
-                obj.set_lane(scratch, lane, &seeds[i].y);
+    let mut pen: Vec<f64> = vec![0.0; seeds.len()];
+    // Tape-level finiteness verdicts, derived for free inside
+    // `write_feats`/`seed_lane` (which already read every root) — a
+    // standalone root scan per lane per step costs a cache-hostile pass
+    // over the tape values and blows the supervision overhead budget.
+    let mut feat_ok: Vec<bool> = vec![true; seeds.len()];
+    let mut pen_ok: Vec<bool> = vec![true; seeds.len()];
+    let mut scores = Vec::with_capacity(opts.n_steps);
+    let mut history = Vec::with_capacity(opts.n_steps);
+    for step in 0..opts.n_steps {
+        for (gi, ((sk, lanes), scratch)) in groups.iter().zip(&mut scratches).enumerate() {
+            if poisoned[gi] {
+                continue;
             }
-            obj.forward_batch(scratch);
-            for (lane, &i) in lanes.iter().enumerate() {
-                obj.write_feats(scratch, lane, &mut feats[i]);
+            let obj = &objectives[*sk];
+            let seeds_ro: &[Seed] = seeds;
+            let ok = run_guarded(sup.enabled, || {
+                if step == 0 && sup.inject_panic_sketch == Some(*sk) {
+                    panic!("injected descent panic (sketch {sk})");
+                }
+                obj.begin_batch(scratch, lanes.len());
+                for (lane, &i) in lanes.iter().enumerate() {
+                    obj.set_lane(scratch, lane, &seeds_ro[i].y);
+                }
+                obj.forward_batch(scratch);
+                for (lane, &i) in lanes.iter().enumerate() {
+                    feat_ok[i] = obj.write_feats(scratch, lane, &mut feats[i]);
+                }
+            });
+            if !ok {
+                poisoned[gi] = true;
+                health.panics_caught += 1;
+                health.sketch_mut(*sk).poisoned = true;
+                for &i in lanes {
+                    feats[i].clear();
+                    feats[i].resize(obj.n_feats(), 0.0);
+                }
             }
         }
         let mlp_out = model.input_gradient_batch(&feats);
         let mut step_scores = vec![0.0; seeds.len()];
-        for ((sk, lanes), scratch) in groups.iter().zip(&mut scratches) {
+        for (gi, ((sk, lanes), scratch)) in groups.iter().zip(&mut scratches).enumerate() {
             let obj = &objectives[*sk];
-            for (lane, &i) in lanes.iter().enumerate() {
-                let (score, dscore) = &mlp_out[i];
-                step_scores[i] = *score;
-                obj.seed_lane(scratch, lane, dscore, lambda);
+            if poisoned[gi] {
+                for &i in lanes {
+                    step_scores[i] = mlp_out[i].0;
+                }
+                continue;
             }
-            obj.backward_batch(scratch);
-            for (lane, &i) in lanes.iter().enumerate() {
-                obj.grad_lane(scratch, lane, &mut grad);
-                seeds[i].opt.step(&mut seeds[i].y, &grad);
+            let ok = run_guarded(sup.enabled, || {
+                for (lane, &i) in lanes.iter().enumerate() {
+                    let (score, dscore) = &mlp_out[i];
+                    step_scores[i] = *score;
+                    let (p, ok) = obj.seed_lane(scratch, lane, dscore, opts.lambda);
+                    pen[i] = p;
+                    pen_ok[i] = ok;
+                }
+                obj.backward_batch(scratch);
+                for (lane, &i) in lanes.iter().enumerate() {
+                    if sup.enabled && seeds[i].health.exhausted {
+                        continue;
+                    }
+                    obj.grad_lane(scratch, lane, &mut grad);
+                    if sup.enabled {
+                        // Minimized objective: O = -score + λ·penalty. The
+                        // squared gradient norm doubles as the finiteness
+                        // probe (a NaN/Inf component poisons the sum) and
+                        // as the clip test below — one pass over the
+                        // gradient covers both.
+                        let obj_val = -step_scores[i] + pen[i];
+                        let norm_sq = grad.iter().map(|g| g * g).sum::<f64>();
+                        let finite = obj_val.is_finite()
+                            && norm_sq.is_finite()
+                            && feat_ok[i]
+                            && pen_ok[i];
+                        if !finite {
+                            health.nonfinite_events += 1;
+                            health.sketch_mut(*sk).events += 1;
+                            restart_seed(
+                                &mut seeds[i], task, objectives, &sup, opts.lr, salt,
+                                base + i, &mut health,
+                            );
+                            continue;
+                        }
+                        if seeds[i].health.note_objective(
+                            obj_val, sup.window, sup.divergence_min_rise,
+                        ) {
+                            health.divergence_events += 1;
+                            health.sketch_mut(*sk).events += 1;
+                            restart_seed(
+                                &mut seeds[i], task, objectives, &sup, opts.lr, salt,
+                                base + i, &mut health,
+                            );
+                            continue;
+                        }
+                        let clip = if modes[*sk] == SketchMode::ClippedGradient {
+                            sup.clipped_grad_clip
+                        } else {
+                            sup.grad_clip
+                        };
+                        if norm_sq > clip * clip {
+                            let scale = clip / norm_sq.sqrt();
+                            for g in &mut grad {
+                                *g *= scale;
+                            }
+                            health.grad_clips += 1;
+                            health.sketch_mut(*sk).events += 1;
+                        }
+                    }
+                    seeds[i].opt.step(&mut seeds[i].y, &grad);
+                }
+            });
+            if !ok {
+                poisoned[gi] = true;
+                health.panics_caught += 1;
+                health.sketch_mut(*sk).poisoned = true;
+                for &i in lanes {
+                    feats[i].clear();
+                    feats[i].resize(obj.n_feats(), 0.0);
+                }
             }
         }
         scores.push(step_scores);
         history.push(seeds.iter().map(|s| (s.sketch, s.y.clone())).collect());
     }
-    (scores, history)
+    if sup.enabled {
+        for (sk, lanes) in &groups {
+            let ex = lanes.iter().filter(|&&i| seeds[i].health.exhausted).count();
+            health.sketch_mut(*sk).exhausted_lanes += ex;
+        }
+    }
+    (scores, history, health)
 }
 
 impl Default for GradientProposer {
@@ -246,6 +422,7 @@ impl Proposer for GradientProposer {
         rng: &mut StdRng,
     ) -> Vec<(usize, Vec<f64>)> {
         let opts = self.options;
+        let sup = opts.supervisor;
         let threads = effective_threads(opts.threads);
         let mut stats = TunerStats { threads, ..TunerStats::default() };
         let objectives = Self::objectives_for(
@@ -256,6 +433,27 @@ impl Proposer for GradientProposer {
             &mut stats,
         );
 
+        // --- Supervision state ---------------------------------------------
+        // The task's per-sketch modes (degradation ladder position) gate
+        // which sketches still descend by gradient. Sketches whose compiled
+        // tape is pathological (non-finite at the neutral point) are routed
+        // to the evolutionary fallback outright — descending them would only
+        // burn the restart budget. With supervision off the ladder is
+        // ignored and the loop is exactly the pre-supervisor search.
+        let modes: Vec<SketchMode> = if sup.enabled {
+            task.sketch_modes().to_vec()
+        } else {
+            vec![SketchMode::Gradient; task.sketches.len()]
+        };
+        let mut pathological: Vec<usize> = Vec::new();
+        if sup.enabled {
+            for (i, o) in objectives.iter().enumerate() {
+                if o.pathological && modes[i].uses_gradient() && !task.is_quarantined(i) {
+                    pathological.push(i);
+                }
+            }
+        }
+
         // --- Seed initialization -------------------------------------------
         // Warm-start half the seeds from the best schedules measured in
         // earlier rounds (local refinement); the remaining slots explore,
@@ -263,15 +461,27 @@ impl Proposer for GradientProposer {
         // draws. Exploration slots use per-slot StdRng streams whose seeds
         // are drawn from the master RNG serially, so slot initialization can
         // run on the pool without perturbing any other random draw.
-        // Quarantined sketches (persistent measurement failures) are skipped
-        // by warm starts and exploration slots. With nothing quarantined the
-        // active list is the identity permutation, so every RNG draw matches
-        // the fault-unaware search bit for bit.
+        // Quarantined sketches (persistent measurement failures) and
+        // degraded sketches (evolutionary mode or pathological tape) are
+        // skipped by warm starts and exploration slots. With nothing
+        // quarantined or degraded the gradient-eligible list is the identity
+        // permutation, so every RNG draw matches the supervision-unaware
+        // search bit for bit.
         let active = task.active_sketches();
+        let gd_active: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&s| modes[s].uses_gradient() && !pathological.contains(&s))
+            .collect();
+        let evo_active: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|s| !gd_active.contains(s))
+            .collect();
         let mut elites: Vec<&(usize, Vec<f64>, f64)> = task
             .measured
             .iter()
-            .filter(|(sk, _, _)| !task.is_quarantined(*sk))
+            .filter(|(sk, _, _)| gd_active.contains(sk))
             .collect();
         elites.sort_by(|a, b| total_cmp_nan_last(&a.2, &b.2));
         let n_warm = (opts.n_seeds / 2).min(elites.len());
@@ -279,11 +489,20 @@ impl Proposer for GradientProposer {
         for e in elites.iter().take(n_warm) {
             let y = objectives[e.0].to_y_space(&e.1);
             let nv = y.len();
-            seeds.push(Seed { sketch: e.0, y, opt: AdamOpt::new(nv, opts.lr) });
+            seeds.push(Seed {
+                sketch: e.0,
+                y,
+                opt: AdamOpt::new(nv, opts.lr),
+                health: SeedHealth::default(),
+            });
         }
-        let slots: Vec<(usize, u64)> = (seeds.len()..opts.n_seeds)
-            .map(|i| (active[i % active.len()], rng.gen::<u64>()))
-            .collect();
+        let slots: Vec<(usize, u64)> = if gd_active.is_empty() {
+            Vec::new()
+        } else {
+            (seeds.len()..opts.n_seeds)
+                .map(|i| (gd_active[i % gd_active.len()], rng.gen::<u64>()))
+                .collect()
+        };
         let inits: Vec<Vec<f64>> = parallel_map(slots.len(), threads, |j| {
             let (sketch, stream) = slots[j];
             let mut srng = StdRng::seed_from_u64(stream);
@@ -308,7 +527,12 @@ impl Proposer for GradientProposer {
         for ((sketch, _), x) in slots.iter().zip(inits) {
             let y = objectives[*sketch].to_y_space(&x);
             let nv = y.len();
-            seeds.push(Seed { sketch: *sketch, y, opt: AdamOpt::new(nv, opts.lr) });
+            seeds.push(Seed {
+                sketch: *sketch,
+                y,
+                opt: AdamOpt::new(nv, opts.lr),
+                health: SeedHealth::default(),
+            });
         }
 
         // --- Adam descent, recording the whole trajectory (line 15-19) -----
@@ -320,8 +544,9 @@ impl Proposer for GradientProposer {
         for _ in 0..opts.n_steps {
             clock.charge_gradient_step(n_live, costs);
         }
+        let salt = restart_salt(&task.name, task.rounds);
         let workers = threads.min(n_live).max(1);
-        let chunk_size = n_live.div_ceil(workers);
+        let chunk_size = n_live.div_ceil(workers).max(1);
         let descent_start = std::time::Instant::now();
         let chunks: Vec<Mutex<Vec<Seed>>> = {
             let mut chunks = Vec::with_capacity(workers);
@@ -336,7 +561,16 @@ impl Proposer for GradientProposer {
         let per_chunk = parallel_map(chunks.len(), threads, |ci| {
             let mut chunk_seeds =
                 std::mem::take(&mut *chunks[ci].lock().expect("chunk slot"));
-            descend_chunk(objectives, model, opts.lambda, opts.n_steps, &mut chunk_seeds)
+            descend_chunk(
+                objectives,
+                task,
+                model,
+                &opts,
+                &modes,
+                salt,
+                ci * chunk_size,
+                &mut chunk_seeds,
+            )
         });
         let descent_s = descent_start.elapsed().as_secs_f64();
         stats.grad_steps = n_live * opts.n_steps;
@@ -344,11 +578,57 @@ impl Proposer for GradientProposer {
         let mut history: Vec<(usize, Vec<f64>)> =
             Vec::with_capacity(n_live * opts.n_steps);
         for step in 0..opts.n_steps {
-            for (scores, hist) in &per_chunk {
+            for (scores, hist, _) in &per_chunk {
                 self.trace.extend_from_slice(&scores[step]);
                 history.extend(hist[step].iter().cloned());
             }
         }
+
+        // --- Health accounting ---------------------------------------------
+        // Chunk counters merge in chunk order (deterministic at any thread
+        // count: chunks are contiguous seed ranges). The per-round deadline
+        // watchdog charges wall-clock overrun to the simulated tuning clock
+        // so a stalling descent pays for its time on the curve.
+        let mut merged = ChunkHealth::default();
+        for (_, _, h) in &per_chunk {
+            merged.merge(h);
+        }
+        let mut deadline_overrun = 0.0;
+        if sup.enabled && descent_s > sup.deadline_s {
+            deadline_overrun = descent_s - sup.deadline_s;
+            clock.advance(deadline_overrun);
+        }
+        let mut health = HealthReport {
+            nonfinite_events: merged.nonfinite_events,
+            divergence_events: merged.divergence_events,
+            seed_restarts: merged.seed_restarts,
+            grad_clips: merged.grad_clips,
+            panics_caught: merged.panics_caught,
+            deadline_overrun_s: deadline_overrun,
+            ..HealthReport::default()
+        };
+        for s in &merged.sketches {
+            if s.poisoned {
+                health.poisoned_sketches.push(s.sketch);
+            } else if s.lanes > 0 && s.exhausted_lanes == s.lanes {
+                health.exhausted_sketches.push(s.sketch);
+            } else if modes[s.sketch] == SketchMode::ClippedGradient && s.events == 0 {
+                health.recovered_sketches.push(s.sketch);
+            }
+        }
+        health.pathological_sketches.clone_from(&pathological);
+        health.exhausted_sketches.sort_unstable();
+        health.poisoned_sketches.sort_unstable();
+        health.recovered_sketches.sort_unstable();
+        stats.seed_restarts = health.seed_restarts;
+        stats.nonfinite_events = health.nonfinite_events;
+        stats.panics_caught = health.panics_caught;
+        stats.deadline_overrun_s = health.deadline_overrun_s;
+        let flagged = health.degraded_sketches();
+        stats.degraded_sketches = (0..task.sketches.len())
+            .filter(|&i| modes[i] != SketchMode::Gradient || flagged.contains(&i))
+            .count();
+        self.health.merge(&health);
 
         // --- Round, validate, dedupe (line 20) ------------------------------
         // A BTreeMap keeps candidate order independent of hasher state, so
@@ -432,10 +712,20 @@ impl Proposer for GradientProposer {
                 .map(|(x, y)| (x.max(1.0).ln() - y.max(1.0).ln()).abs())
                 .sum()
         };
+        // Degraded sketches get a proportional slice of the measurement
+        // budget, filled by the evolutionary fallback below; with nothing
+        // degraded the gradient path keeps the whole budget (n_gd == n) and
+        // the selection is exactly the supervision-unaware one.
+        let n_evo = if evo_active.is_empty() {
+            0
+        } else {
+            ((n * evo_active.len()) / task.sketches.len()).clamp(1, n)
+        };
+        let n_gd = n - n_evo;
         let mut out: Vec<(usize, Vec<f64>)> = Vec::with_capacity(n);
         for radius in [1.4, 0.7, 0.0] {
             for (_, sk, x) in &ranked {
-                if out.len() >= n {
+                if out.len() >= n_gd {
                     break;
                 }
                 let dup = out.iter().any(|(s, v)| {
@@ -445,8 +735,30 @@ impl Proposer for GradientProposer {
                     out.push((*sk, x.clone()));
                 }
             }
-            if out.len() >= n {
+            if out.len() >= n_gd {
                 break;
+            }
+        }
+
+        // --- Evolutionary fallback for degraded sketches --------------------
+        // Sketches that fell off the gradient ladder (evolutionary mode or
+        // pathological tape) still get measured: a fresh evolutionary
+        // proposer searches just those sketches for their budget slice.
+        if n_evo > 0 {
+            let mut evo = EvolutionaryProposer::new(EvolutionConfig {
+                population: 128,
+                generations: 2,
+                ..Default::default()
+            });
+            let evo_cands =
+                evo.propose_for_sketches(task, model, n_evo, clock, costs, rng, &evo_active);
+            for (sk, x) in evo_cands {
+                if out.len() >= n {
+                    break;
+                }
+                if !out.iter().any(|(s, v)| *s == sk && *v == x) {
+                    out.push((sk, x));
+                }
             }
         }
         self.stats.push(stats);
@@ -459,6 +771,10 @@ impl Proposer for GradientProposer {
 
     fn take_stats(&mut self) -> Vec<TunerStats> {
         std::mem::take(&mut self.stats)
+    }
+
+    fn take_health(&mut self) -> HealthReport {
+        std::mem::take(&mut self.health)
     }
 
     fn note_measurement(&mut self, report: &felix_ansor::RoundReport) {

@@ -1,0 +1,326 @@
+//! Seed-health supervision for the gradient-descent runtime.
+//!
+//! The descent loop of [`crate::gd`] is numerically adversarial: the cost
+//! model can emit NaN, a penalty term can overflow, and a pathological tape
+//! can diverge monotonically without ever producing a non-finite value. The
+//! supervisor watches every Adam step of every seed and intervenes
+//! per-seed, never globally:
+//!
+//! - **Non-finite detection** — the objective value, the gradient, and the
+//!   tape roots (features *and* penalties) are checked every step; any
+//!   NaN/Inf restarts the seed.
+//! - **Divergence detection** — a seed whose objective value rises
+//!   monotonically for [`SupervisorOptions::window`] consecutive steps *and*
+//!   cumulatively by more than [`SupervisorOptions::divergence_min_rise`] is
+//!   declared diverging and restarted. Both conditions are required: healthy
+//!   descent over a multi-modal landscape routinely rises for a few steps.
+//! - **Gradient clipping** — gradient norms above the active clip are
+//!   scaled down (a trust region on the step, not a restart).
+//! - **Deterministic restarts** — a restarted seed redraws its starting
+//!   point from a dedicated RNG substream derived by pure hashing
+//!   ([`restart_stream`]), never from the master RNG, so healthy seeds'
+//!   streams — and entire fault-free runs — stay bit-identical to an
+//!   unsupervised search. Each restart shrinks the seed's Adam learning
+//!   rate by [`SupervisorOptions::trust_backoff`] (trust-region backoff).
+//! - **Exhaustion** — a seed that burns through
+//!   [`SupervisorOptions::restart_budget`] restarts is frozen; a sketch
+//!   whose seeds are all frozen escalates one rung down the degradation
+//!   ladder (gradient → clipped gradient → evolutionary).
+//!
+//! The supervisor's observations accumulate in a [`ChunkHealth`] per worker
+//! chunk; the proposer merges the chunks and publishes a
+//! [`felix_ansor::HealthReport`] through the round report and record log.
+
+/// Knobs of the descent supervisor. The defaults are chosen so a healthy
+/// run never trips any of them: supervision is then observation-only and
+/// the search stays bit-identical to an unsupervised run.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisorOptions {
+    /// Master switch. `false` restores the exact pre-supervisor loop (no
+    /// health checks, no restarts, no clipping).
+    pub enabled: bool,
+    /// Consecutive monotonically-rising objective steps before a seed is
+    /// considered diverging.
+    pub window: usize,
+    /// Minimum cumulative objective rise over the window; guards against
+    /// flagging the small rises of healthy non-convex descent.
+    pub divergence_min_rise: f64,
+    /// Gradient-norm clip for seeds in [`felix_ansor::SketchMode::Gradient`]
+    /// mode. Healthy gradients stay orders of magnitude below this.
+    pub grad_clip: f64,
+    /// Tighter clip for sketches degraded to
+    /// [`felix_ansor::SketchMode::ClippedGradient`].
+    pub clipped_grad_clip: f64,
+    /// Restarts per seed per round before the seed is frozen (exhausted).
+    pub restart_budget: usize,
+    /// Per-restart Adam learning-rate multiplier (trust-region backoff).
+    pub trust_backoff: f64,
+    /// Wall-clock deadline for one round's descent, in seconds. Overruns
+    /// are charged to the simulated tuning clock so a stalling descent
+    /// cannot make the time-vs-latency curve look better than it is.
+    /// `f64::INFINITY` (the default) never charges.
+    pub deadline_s: f64,
+    /// Test hook: the descent of this sketch panics on its first step,
+    /// exercising the panic-isolation path deterministically.
+    pub inject_panic_sketch: Option<usize>,
+}
+
+impl Default for SupervisorOptions {
+    fn default() -> Self {
+        SupervisorOptions {
+            enabled: true,
+            window: 16,
+            divergence_min_rise: 1e4,
+            grad_clip: 1e8,
+            clipped_grad_clip: 1e2,
+            restart_budget: 3,
+            trust_backoff: 0.5,
+            deadline_s: f64::INFINITY,
+            inject_panic_sketch: None,
+        }
+    }
+}
+
+/// Per-seed supervision state, advanced once per Adam step.
+#[derive(Clone, Copy, Debug)]
+pub struct SeedHealth {
+    /// Objective value of the previous step (`INFINITY` before the first).
+    pub last_obj: f64,
+    /// Objective value where the current monotone rise began.
+    pub rise_start_obj: f64,
+    /// Length of the current monotone rise, in steps.
+    pub rising_steps: usize,
+    /// Restarts consumed so far this round.
+    pub restarts: usize,
+    /// Restart budget exhausted; the seed is frozen at its current point.
+    pub exhausted: bool,
+}
+
+impl Default for SeedHealth {
+    fn default() -> Self {
+        SeedHealth {
+            last_obj: f64::INFINITY,
+            rise_start_obj: f64::INFINITY,
+            rising_steps: 0,
+            restarts: 0,
+            exhausted: false,
+        }
+    }
+}
+
+impl SeedHealth {
+    /// Feeds one step's objective value; returns `true` when the divergence
+    /// criterion trips (monotone rise of `window` steps with cumulative
+    /// rise above `min_rise`).
+    pub fn note_objective(&mut self, obj: f64, window: usize, min_rise: f64) -> bool {
+        if obj > self.last_obj {
+            if self.rising_steps == 0 {
+                self.rise_start_obj = self.last_obj;
+            }
+            self.rising_steps += 1;
+        } else {
+            self.rising_steps = 0;
+        }
+        self.last_obj = obj;
+        self.rising_steps >= window && obj - self.rise_start_obj > min_rise
+    }
+
+    /// Consumes one restart (resetting the divergence window) and reports
+    /// whether the budget allowed it; `false` freezes the seed instead.
+    pub fn consume_restart(&mut self, budget: usize) -> bool {
+        if self.restarts >= budget {
+            self.exhausted = true;
+            return false;
+        }
+        self.restarts += 1;
+        self.rising_steps = 0;
+        self.last_obj = f64::INFINITY;
+        self.rise_start_obj = f64::INFINITY;
+        true
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+/// Round-scoped salt for restart substreams: a pure FNV-1a hash of the task
+/// name and its round counter. No master-RNG draw is consumed, so computing
+/// the salt is invisible to a fault-free run.
+pub fn restart_salt(task_name: &str, rounds: usize) -> u64 {
+    let h = fnv1a(FNV_OFFSET, task_name.as_bytes());
+    fnv1a(h, &rounds.to_le_bytes())
+}
+
+/// The RNG stream seed for the `restart`-th restart of global seed slot
+/// `seed_index` under `salt`. Distinct (salt, slot, restart) triples map to
+/// distinct streams; the mapping is pure, so restarts are reproducible at
+/// any thread count and invisible to seeds that never restart.
+pub fn restart_stream(salt: u64, seed_index: usize, restart: usize) -> u64 {
+    let h = fnv1a(salt, &(seed_index as u64).to_le_bytes());
+    fnv1a(h, &(restart as u64).to_le_bytes())
+}
+
+/// Health of one sketch's lanes within a worker chunk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SketchHealth {
+    /// Sketch index within the task.
+    pub sketch: usize,
+    /// Seeds descending this sketch.
+    pub lanes: usize,
+    /// Seeds frozen after exhausting the restart budget.
+    pub exhausted_lanes: usize,
+    /// Supervision events (non-finite, divergence, clip) on this sketch.
+    pub events: usize,
+    /// A panic escaped this sketch's tape or objective; the sketch is
+    /// quarantined from gradient descent.
+    pub poisoned: bool,
+}
+
+/// Supervision counters accumulated by one worker chunk's descent, merged
+/// across chunks (associatively, in chunk order) into the round's
+/// [`felix_ansor::HealthReport`].
+#[derive(Clone, Debug, Default)]
+pub struct ChunkHealth {
+    /// NaN/Inf detections (objective, gradient, or tape roots).
+    pub nonfinite_events: usize,
+    /// Monotone-divergence detections.
+    pub divergence_events: usize,
+    /// Seed restarts performed.
+    pub seed_restarts: usize,
+    /// Gradient-norm clips applied.
+    pub grad_clips: usize,
+    /// Panics caught and contained by the per-sketch isolation boundary.
+    pub panics_caught: usize,
+    /// Per-sketch lane health, in first-seen order.
+    pub sketches: Vec<SketchHealth>,
+}
+
+impl ChunkHealth {
+    /// Mutable per-sketch entry, created on first touch.
+    pub fn sketch_mut(&mut self, sketch: usize) -> &mut SketchHealth {
+        if let Some(i) = self.sketches.iter().position(|s| s.sketch == sketch) {
+            return &mut self.sketches[i];
+        }
+        self.sketches.push(SketchHealth {
+            sketch,
+            lanes: 0,
+            exhausted_lanes: 0,
+            events: 0,
+            poisoned: false,
+        });
+        self.sketches.last_mut().expect("just pushed")
+    }
+
+    /// Folds `other` into `self` (counter sums; per-sketch entries merge by
+    /// sketch index).
+    pub fn merge(&mut self, other: &ChunkHealth) {
+        self.nonfinite_events += other.nonfinite_events;
+        self.divergence_events += other.divergence_events;
+        self.seed_restarts += other.seed_restarts;
+        self.grad_clips += other.grad_clips;
+        self.panics_caught += other.panics_caught;
+        for s in &other.sketches {
+            let e = self.sketch_mut(s.sketch);
+            e.lanes += s.lanes;
+            e.exhausted_lanes += s.exhausted_lanes;
+            e.events += s.events;
+            e.poisoned |= s.poisoned;
+        }
+    }
+
+    /// True when nothing happened: no events, no restarts, no poisoning.
+    pub fn is_clean(&self) -> bool {
+        self.nonfinite_events == 0
+            && self.divergence_events == 0
+            && self.seed_restarts == 0
+            && self.grad_clips == 0
+            && self.panics_caught == 0
+            && self.sketches.iter().all(|s| !s.poisoned && s.exhausted_lanes == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divergence_needs_both_window_and_rise() {
+        let mut h = SeedHealth::default();
+        // Monotone rise but tiny: never trips.
+        for i in 0..40 {
+            assert!(!h.note_objective(f64::from(i), 16, 1e4));
+        }
+        // Large rise but interrupted every few steps: never trips.
+        let mut h = SeedHealth::default();
+        for i in 0..40 {
+            let obj = if i % 8 == 7 { 0.0 } else { f64::from(i) * 1e4 };
+            assert!(!h.note_objective(obj, 16, 1e4));
+        }
+        // Monotone AND large: trips exactly at the window boundary.
+        let mut h = SeedHealth::default();
+        let mut tripped = None;
+        for i in 0..40 {
+            if h.note_objective(f64::from(i) * 1e4, 16, 1e4) {
+                tripped = Some(i);
+                break;
+            }
+        }
+        // Step 0 starts the window (last_obj = INFINITY is not exceeded),
+        // so the 16th consecutive rise lands on step 16.
+        assert_eq!(tripped, Some(16));
+    }
+
+    #[test]
+    fn restart_budget_freezes_after_exhaustion() {
+        let mut h = SeedHealth::default();
+        assert!(h.consume_restart(2));
+        assert!(h.consume_restart(2));
+        assert!(!h.consume_restart(2), "third restart exceeds budget 2");
+        assert!(h.exhausted);
+        assert_eq!(h.restarts, 2);
+    }
+
+    #[test]
+    fn restart_streams_are_pure_and_distinct() {
+        let salt = restart_salt("dense-512", 3);
+        assert_eq!(salt, restart_salt("dense-512", 3), "salt is pure");
+        assert_ne!(salt, restart_salt("dense-512", 4));
+        assert_ne!(salt, restart_salt("dense-256", 3));
+        let s = restart_stream(salt, 5, 1);
+        assert_eq!(s, restart_stream(salt, 5, 1), "stream is pure");
+        assert_ne!(s, restart_stream(salt, 5, 2));
+        assert_ne!(s, restart_stream(salt, 6, 1));
+    }
+
+    #[test]
+    fn chunk_health_merges_by_sketch() {
+        let mut a = ChunkHealth::default();
+        {
+            let s = a.sketch_mut(1);
+            s.lanes = 2;
+            s.events = 1;
+        }
+        a.nonfinite_events = 1;
+        let mut b = ChunkHealth::default();
+        {
+            let s = b.sketch_mut(1);
+            s.lanes = 1;
+            s.exhausted_lanes = 1;
+            s.poisoned = true;
+        }
+        b.seed_restarts = 2;
+        a.merge(&b);
+        assert_eq!(a.nonfinite_events, 1);
+        assert_eq!(a.seed_restarts, 2);
+        let s = &a.sketches[0];
+        assert_eq!((s.lanes, s.exhausted_lanes, s.events, s.poisoned), (3, 1, 1, true));
+        assert!(!a.is_clean());
+        assert!(ChunkHealth::default().is_clean());
+    }
+}

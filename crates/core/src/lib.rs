@@ -39,6 +39,7 @@
 
 pub mod api;
 pub mod gd;
+pub mod health;
 pub mod objective;
 pub mod parallel;
 pub mod persist;
@@ -46,6 +47,7 @@ pub mod persist;
 pub use api::{
     extract_subgraphs, pretrained_cost_model, CompiledModule, ModelQuality, Optimizer,
 };
+pub use health::SupervisorOptions;
 pub use persist::{replay_records, CheckpointState, RecordLogSink};
 pub use gd::{FelixOptions, GradientProposer};
 pub use objective::{EvalScratch, SketchObjective};

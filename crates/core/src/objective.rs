@@ -52,6 +52,24 @@ impl Default for PipelineOptions {
     }
 }
 
+/// Clamp bound on the log-space variables `y` before they reach the tape
+/// (both the compiled path and the pool oracle — the two must stay
+/// bit-identical). `x = e^y` makes every feature a polynomial in `e^y`, so
+/// one saturated tile variable at `y ≈ 700` turns into `x = Inf` and
+/// poisons the whole SoA sweep. `e^30 ≈ 1e13` is already ~9 orders of
+/// magnitude beyond the largest legal tile extent (≤ 4096, `y ≈ 8.3`),
+/// while products of every schedule variable and the squared penalty terms
+/// stay comfortably inside `f64` range. Healthy descent never gets near
+/// the bound, so clamping changes nothing on fault-free runs.
+pub const Y_CLAMP: f64 = 30.0;
+
+/// Clamp bound on a penalty root's value `g` before it is squared into the
+/// objective and seeded into the reverse sweep. `(1e100)² = 1e200` is still
+/// finite in `f64`; anything larger risks `Inf` in `λ·g²` even for finite
+/// `g`. Feasible and near-feasible schedules have `g` within a few orders
+/// of magnitude of zero, so the bound is unreachable on healthy runs.
+pub const PENALTY_CLAMP: f64 = 1e100;
+
 /// The differentiable objective of one sketch.
 #[derive(Clone, Debug)]
 pub struct SketchObjective {
@@ -76,6 +94,11 @@ pub struct SketchObjective {
     pub tape_compile_s: f64,
     /// Pipeline stages this objective was built with.
     pub pipeline: PipelineOptions,
+    /// True when the compiled tape is non-finite at the build-time probe
+    /// point (`y = 0`, i.e. every schedule variable at 1): such an
+    /// objective cannot support descent anywhere, so the supervisor routes
+    /// the sketch straight to the evolutionary fallback.
+    pub pathological: bool,
 }
 
 /// Reusable buffers for tape-based objective evaluation. One scratch per
@@ -154,7 +177,7 @@ impl SketchObjective {
         let compile_start = std::time::Instant::now();
         let tape = CompiledGradTape::compile(&program.pool, &simplified);
         let tape_compile_s = compile_start.elapsed().as_secs_f64();
-        SketchObjective {
+        let mut obj = SketchObjective {
             program,
             log_feat_roots,
             penalty_roots,
@@ -164,7 +187,20 @@ impl SketchObjective {
             tape,
             tape_compile_s,
             pipeline,
-        }
+            pathological: false,
+        };
+        // Build-time probe: one forward pass at y = 0 (every schedule
+        // variable at 1). A tape that is already NaN/Inf there compiled to
+        // a pathological objective — descent from any starting point would
+        // only burn its budget, so the flag lets the supervisor degrade the
+        // sketch immediately and deterministically.
+        let mut scratch = EvalScratch::default();
+        let zero = vec![0.0; obj.y_vars.len()];
+        obj.begin_batch(&mut scratch, 1);
+        obj.set_lane(&mut scratch, 0, &zero);
+        obj.tape.forward_batch(&scratch.vars, 1, &mut scratch.vals);
+        obj.pathological = !obj.tape.lane_roots_finite(&scratch.vals, 1, 0);
+        obj
     }
 
     /// Number of optimization variables.
@@ -202,11 +238,20 @@ impl SketchObjective {
         x_vals
     }
 
-    /// Assembles the full variable-value vector for pool evaluation.
+    /// Clamps one y-space coordinate to the documented tape-input bound
+    /// (NaN passes through — it is caught by the supervisor's finiteness
+    /// checks, not silently laundered into a bound value).
+    fn clamp_y(yv: f64) -> f64 {
+        yv.clamp(-Y_CLAMP, Y_CLAMP)
+    }
+
+    /// Assembles the full variable-value vector for pool evaluation,
+    /// clamping each `y` exactly as [`SketchObjective::set_lane`] does so
+    /// the pool oracle stays bit-identical to the tape path.
     fn full_values(&self, y: &[f64]) -> Vec<f64> {
         let mut vals = vec![1.0; self.program.vars.len()];
         for (i, &yv) in self.y_vars.iter().enumerate() {
-            vals[yv.index()] = y[i];
+            vals[yv.index()] = Self::clamp_y(y[i]);
         }
         vals
     }
@@ -250,7 +295,7 @@ impl SketchObjective {
             .collect();
         let mut penalty_val = 0.0;
         for &g in &self.penalty_roots {
-            let gv = node_vals[g.index()];
+            let gv = node_vals[g.index()].min(PENALTY_CLAMP);
             if gv > 0.0 {
                 penalty_val += lambda * gv * gv;
                 seeds.push((g, lambda * 2.0 * gv));
@@ -303,11 +348,13 @@ impl SketchObjective {
         scratch.vars.resize(self.program.vars.len() * batch, 1.0);
     }
 
-    /// Writes one seed's y-space point into `lane` of the variable block.
+    /// Writes one seed's y-space point into `lane` of the variable block,
+    /// clamped to `±`[`Y_CLAMP`] so a saturated coordinate cannot push
+    /// `e^y` to `Inf` inside the shared SoA sweep.
     pub fn set_lane(&self, scratch: &mut EvalScratch, lane: usize, y: &[f64]) {
         let b = scratch.batch;
         for (i, &yv) in self.y_vars.iter().enumerate() {
-            scratch.vars[yv.index() * b + lane] = y[i];
+            scratch.vars[yv.index() * b + lane] = Self::clamp_y(y[i]);
         }
     }
 
@@ -322,32 +369,58 @@ impl SketchObjective {
             .resize(self.tape.n_roots() * scratch.batch, 0.0);
     }
 
+    /// Number of log-feature roots (the MLP input width for this sketch).
+    pub fn n_feats(&self) -> usize {
+        self.log_feat_roots.len()
+    }
+
     /// Extracts `lane`'s log-feature vector (the MLP input) into `out`.
-    pub fn write_feats(&self, scratch: &EvalScratch, lane: usize, out: &mut Vec<f64>) {
+    ///
+    /// Returns `true` when every extracted feature is finite. The check
+    /// rides the extraction loop (the values are already in hand), so the
+    /// supervisor's per-step feature-root NaN/Inf detection costs no extra
+    /// pass over the tape.
+    pub fn write_feats(&self, scratch: &EvalScratch, lane: usize, out: &mut Vec<f64>) -> bool {
         out.clear();
+        let mut finite = true;
         for k in 0..self.log_feat_roots.len() {
-            out.push(self.tape.root_value(&scratch.vals, scratch.batch, k, lane));
+            let v = self.tape.root_value(&scratch.vals, scratch.batch, k, lane);
+            finite &= v.is_finite();
+            out.push(v);
         }
+        finite
     }
 
     /// Seeds `lane`'s adjoints from the MLP's input gradient plus the
     /// penalty derivatives, returning the lane's penalty value
-    /// `λ Σ max(g_r, 0)²`. Must run after [`SketchObjective::forward_batch`].
+    /// `λ Σ max(g_r, 0)²` and whether every raw penalty root was finite.
+    /// Must run after [`SketchObjective::forward_batch`].
+    ///
+    /// The finiteness flag is checked on the *raw* root value, before the
+    /// clamp: `f64::min(NaN, c)` returns `c`, so a NaN penalty root would
+    /// otherwise be laundered into [`PENALTY_CLAMP`] and become invisible
+    /// to both the penalty sum and the gradient. Riding the seeding loop
+    /// keeps the supervisor's check free of any extra tape pass.
     pub fn seed_lane(
         &self,
         scratch: &mut EvalScratch,
         lane: usize,
         dscore: &[f64],
         lambda: f64,
-    ) -> f64 {
+    ) -> (f64, bool) {
         let b = scratch.batch;
         let n_feats = self.log_feat_roots.len();
         for (k, &d) in dscore.iter().enumerate() {
             scratch.seeds[k * b + lane] = -d;
         }
         let mut penalty = 0.0;
+        let mut finite = true;
         for j in 0..self.penalty_roots.len() {
-            let gv = self.tape.root_value(&scratch.vals, b, n_feats + j, lane);
+            let raw = self.tape.root_value(&scratch.vals, b, n_feats + j, lane);
+            finite &= raw.is_finite();
+            // Clamped identically to the pool oracle so the two paths stay
+            // bitwise equal; see [`PENALTY_CLAMP`].
+            let gv = raw.min(PENALTY_CLAMP);
             if gv > 0.0 {
                 penalty += lambda * gv * gv;
                 scratch.seeds[(n_feats + j) * b + lane] = lambda * 2.0 * gv;
@@ -355,7 +428,19 @@ impl SketchObjective {
                 scratch.seeds[(n_feats + j) * b + lane] = 0.0;
             }
         }
-        penalty
+        (penalty, finite)
+    }
+
+    /// True when every tape root (features *and* penalties) of `lane` is
+    /// finite in the current batch — the reference form of the supervisor's
+    /// tape-level NaN/Inf check. The descent hot path derives the same
+    /// verdict for free from [`SketchObjective::write_feats`] and
+    /// [`SketchObjective::seed_lane`] (which already read every root); this
+    /// standalone scan backs the build-time pathology probe and tests.
+    /// Must run after [`SketchObjective::forward_batch`].
+    pub fn lane_is_finite(&self, scratch: &EvalScratch, lane: usize) -> bool {
+        self.tape
+            .lane_roots_finite(&scratch.vals, scratch.batch, lane)
     }
 
     /// Runs the fused reverse sweep over all lanes at once.
@@ -411,7 +496,7 @@ impl SketchObjective {
         let mut feats = Vec::with_capacity(self.log_feat_roots.len());
         self.write_feats(scratch, 0, &mut feats);
         let (score, dscore) = model.input_gradient(&feats);
-        let penalty = self.seed_lane(scratch, 0, &dscore, lambda);
+        let (penalty, _) = self.seed_lane(scratch, 0, &dscore, lambda);
         self.backward_batch(scratch);
         let mut grad = Vec::with_capacity(self.y_vars.len());
         self.grad_lane(scratch, 0, &mut grad);
@@ -431,7 +516,10 @@ impl SketchObjective {
         let n_feats = self.log_feat_roots.len();
         let mut penalty = 0.0;
         for j in 0..self.penalty_roots.len() {
-            let gv = self.tape.root_value(&scratch.vals, 1, n_feats + j, 0);
+            let gv = self
+                .tape
+                .root_value(&scratch.vals, 1, n_feats + j, 0)
+                .min(PENALTY_CLAMP);
             if gv > 0.0 {
                 penalty += lambda * gv * gv;
             }
@@ -575,7 +663,7 @@ mod tests {
             obj.write_feats(&scratch, lane, &mut feats);
             let (score, dscore) = model.input_gradient(&feats);
             scores[lane] = score;
-            penalties[lane] = obj.seed_lane(&mut scratch, lane, &dscore, 1.0);
+            penalties[lane] = obj.seed_lane(&mut scratch, lane, &dscore, 1.0).0;
         }
         obj.backward_batch(&mut scratch);
         let mut grad = Vec::new();
@@ -601,6 +689,52 @@ mod tests {
         let c_ok = obj.cost(&model, 1.0, &ok);
         let c_bad = obj.cost(&model, 1.0, &bad);
         assert!(c_bad > c_ok + 10.0, "penalty must dominate: {c_ok} vs {c_bad}");
+    }
+
+    #[test]
+    fn saturated_coordinates_are_clamped_finite_on_both_paths() {
+        // One coordinate blown far past the clamp: the tape sees e^Y_CLAMP,
+        // not e^700 = Inf, so the whole lane stays finite — and the pool
+        // oracle applies the identical clamp, keeping the bitwise
+        // equivalence guarantee intact even at pathological points.
+        let (obj, _) = build_dense_objective();
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = Mlp::new(&mut rng);
+        let saturated = vec![700.0, 2.3, 1.1, 0.4, 2.0, 1.3, 1.9, -900.0];
+        let (c_tape, s_tape, g_tape) = obj.cost_and_grad(&model, 1.0, &saturated);
+        let (c_pool, s_pool, g_pool) = obj.cost_and_grad_pool(&model, 1.0, &saturated);
+        assert_eq!(c_tape.to_bits(), c_pool.to_bits());
+        assert_eq!(s_tape.to_bits(), s_pool.to_bits());
+        for (a, b) in g_tape.iter().zip(&g_pool) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(s_tape.is_finite(), "clamped features must keep the score finite");
+        let mut scratch = EvalScratch::default();
+        obj.begin_batch(&mut scratch, 1);
+        obj.set_lane(&mut scratch, 0, &saturated);
+        obj.forward_batch(&mut scratch);
+        assert!(obj.lane_is_finite(&scratch, 0), "all roots finite after clamp");
+    }
+
+    #[test]
+    fn nan_coordinates_are_detected_not_laundered() {
+        // NaN must pass through the clamp (f64::clamp propagates NaN) and
+        // be caught by the tape-level finiteness check, not silently turned
+        // into a boundary value.
+        let (obj, _) = build_dense_objective();
+        let mut y = vec![0.5, 2.3, 1.1, 0.4, 2.0, 1.3, 1.9, 3.5];
+        y[2] = f64::NAN;
+        let mut scratch = EvalScratch::default();
+        obj.begin_batch(&mut scratch, 1);
+        obj.set_lane(&mut scratch, 0, &y);
+        obj.forward_batch(&mut scratch);
+        assert!(!obj.lane_is_finite(&scratch, 0));
+    }
+
+    #[test]
+    fn healthy_objective_is_not_pathological() {
+        let (obj, _) = build_dense_objective();
+        assert!(!obj.pathological, "dense objective must probe finite at y=0");
     }
 
     #[test]

@@ -18,14 +18,21 @@
 //!   every float as an exact bit pattern, so a resumed run continues the
 //!   time-vs-latency curve byte-identically.
 
-use felix_ansor::{CurvePoint, MeasurementEvent, MeasurementSink, SearchTask, TaskSnapshot};
-use felix_records::{task_key, Json, RecordLog, RecordOutcome, TuningRecord};
+use felix_ansor::{
+    CurvePoint, HealthEvent, MeasurementEvent, MeasurementSink, SearchTask, SketchMode,
+    TaskSnapshot,
+};
+use felix_records::{
+    task_key, HealthRecord, Json, Record, RecordLog, RecordOutcome, TuningRecord,
+    HEALTH_RECORD_VERSION,
+};
 use felix_sim::FaultKind;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Checkpoint document version, bumped on incompatible format changes.
-const CHECKPOINT_VERSION: f64 = 1.0;
+/// Version 2.0 added per-sketch supervision modes to task snapshots.
+const CHECKPOINT_VERSION: f64 = 2.0;
 
 /// A [`MeasurementSink`] appending every measurement to a durable
 /// [`RecordLog`]. Write errors are reported once to stderr and then disable
@@ -84,45 +91,92 @@ impl MeasurementSink for RecordLogSink {
             self.failed = true;
         }
     }
+
+    fn record_health(&mut self, event: &HealthEvent<'_>) {
+        if self.failed {
+            return;
+        }
+        let record = HealthRecord {
+            version: HEALTH_RECORD_VERSION,
+            task_key: task_key(event.workload_key, &self.device_name),
+            round: event.round,
+            nonfinite_events: event.report.nonfinite_events,
+            divergence_events: event.report.divergence_events,
+            seed_restarts: event.report.seed_restarts,
+            grad_clips: event.report.grad_clips,
+            panics_caught: event.report.panics_caught,
+            deadline_overrun_s: event.report.deadline_overrun_s,
+            modes: event.modes.iter().map(|m| m.label().to_string()).collect(),
+            time_s: event.time_s,
+        };
+        if let Err(e) = self.log.append_health(&record) {
+            eprintln!(
+                "[felix] health-record append to {} failed ({e}); persistence disabled for the rest of this run",
+                self.log.path().display()
+            );
+            self.failed = true;
+        }
+    }
 }
 
 /// Replays every record matching `task` (by [`task_key`] of its workload key
 /// and the device) into its search state, in log order, and returns the
 /// number of *successful* measurements replayed.
 ///
-/// Records apply through [`SearchTask::record`] / `record_failure`, so the
-/// incumbent, dedup set, per-kind fault counters, failure streaks, and
-/// quarantine flags come out exactly as the original run left them (the log
-/// preserves the success/failure interleaving the streak logic depends on).
-/// Replay-buffer samples are rebuilt by re-evaluating the closed-form
-/// features, reproducing them bit for bit. Records are skipped defensively —
-/// stale sketch index or name, wrong value count, unknown fault label, or
-/// already-measured candidate (idempotent re-replay) — rather than trusted.
-pub fn replay_records(
-    task: &mut SearchTask,
-    records: &[TuningRecord],
-    device_name: &str,
-) -> usize {
+/// Measurement records apply through [`SearchTask::record`] /
+/// `record_failure`, so the incumbent, dedup set, per-kind fault counters,
+/// failure streaks, and quarantine flags come out exactly as the original
+/// run left them (the log preserves the success/failure interleaving the
+/// streak logic depends on). Health records restore the per-sketch
+/// supervision modes (each overwrites the last, so the final record wins —
+/// a resumed run replays the same degradation decisions instead of
+/// re-deriving them). Replay-buffer samples are rebuilt by re-evaluating the
+/// closed-form features, reproducing them bit for bit. Records are skipped
+/// defensively — stale sketch index or name, wrong value count, unknown
+/// fault or mode label, wrong mode count, or already-measured candidate
+/// (idempotent re-replay) — rather than trusted.
+pub fn replay_records(task: &mut SearchTask, records: &[Record], device_name: &str) -> usize {
     let key = task_key(&task.workload_key, device_name);
     let n_before = task.measured.len();
-    for rec in records.iter().filter(|r| r.task_key == key) {
-        let Some(st) = task.sketches.get(rec.sketch) else { continue };
-        if st.name != rec.sketch_name || rec.values.len() != st.program.vars.len() {
-            continue;
-        }
-        if task.already_measured(rec.sketch, &rec.values) {
-            continue;
-        }
-        match &rec.outcome {
-            RecordOutcome::Ok(latency) => {
-                task.record(rec.sketch, rec.values.clone(), *latency);
+    for record in records {
+        match record {
+            Record::Measurement(rec) => {
+                if rec.task_key != key {
+                    continue;
+                }
+                let Some(st) = task.sketches.get(rec.sketch) else { continue };
+                if st.name != rec.sketch_name || rec.values.len() != st.program.vars.len() {
+                    continue;
+                }
+                if task.already_measured(rec.sketch, &rec.values) {
+                    continue;
+                }
+                match &rec.outcome {
+                    RecordOutcome::Ok(latency) => {
+                        task.record(rec.sketch, rec.values.clone(), *latency);
+                    }
+                    RecordOutcome::Fault(label) => {
+                        let Some(kind) = FaultKind::from_label(label) else { continue };
+                        task.record_failure(rec.sketch, rec.values.clone(), kind);
+                    }
+                }
+                task.fault_stats.retries += rec.retries;
             }
-            RecordOutcome::Fault(label) => {
-                let Some(kind) = FaultKind::from_label(label) else { continue };
-                task.record_failure(rec.sketch, rec.values.clone(), kind);
+            Record::Health(rec) => {
+                if rec.task_key != key || rec.modes.len() != task.sketches.len() {
+                    continue;
+                }
+                let Some(modes) = rec
+                    .modes
+                    .iter()
+                    .map(|l| SketchMode::from_label(l))
+                    .collect::<Option<Vec<SketchMode>>>()
+                else {
+                    continue;
+                };
+                task.set_sketch_modes(&modes);
             }
         }
-        task.fault_stats.retries += rec.retries;
     }
     for i in n_before..task.measured.len() {
         let (sk, vals, latency) = &task.measured[i];
@@ -227,6 +281,15 @@ fn snapshot_to_json(snap: &TaskSnapshot) -> Json {
             "quarantined",
             Json::Arr(snap.quarantined.iter().map(|&q| Json::Bool(q)).collect()),
         ),
+        (
+            "modes",
+            Json::Arr(
+                snap.sketch_modes
+                    .iter()
+                    .map(|m| Json::Str(m.label().to_string()))
+                    .collect(),
+            ),
+        ),
         ("rounds", Json::Num(snap.rounds as f64)),
     ])
 }
@@ -256,6 +319,12 @@ fn snapshot_from_json(doc: &Json) -> Option<TaskSnapshot> {
             .iter()
             .map(Json::as_bool)
             .collect::<Option<Vec<bool>>>()?,
+        sketch_modes: doc
+            .get("modes")?
+            .as_arr()?
+            .iter()
+            .map(|m| SketchMode::from_label(m.as_str()?))
+            .collect::<Option<Vec<SketchMode>>>()?,
         rounds: doc.get("rounds")?.as_usize()?,
     };
     match doc.get("best_schedule")? {
@@ -407,6 +476,7 @@ mod tests {
                 },
                 fail_streak: vec![0, 3],
                 quarantined: vec![false, true],
+                sketch_modes: vec![SketchMode::ClippedGradient, SketchMode::Evolutionary],
                 rounds: 4,
             }],
         }

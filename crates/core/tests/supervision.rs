@@ -1,0 +1,296 @@
+//! End-to-end tests of the self-healing descent runtime: supervision is
+//! invisible on healthy runs (bit-parity, on vs off, at every thread
+//! count), contains NaN cost models and panicking sketch objectives
+//! without losing the run, degrades only the affected sketches to the
+//! evolutionary fallback, and persists its degradation decisions so
+//! killed runs resume byte-identically.
+
+use felix::{
+    extract_subgraphs, pretrained_cost_model, FelixOptions, ModelQuality, Optimizer,
+    SupervisorOptions,
+};
+use felix_ansor::SketchMode;
+use felix_cost::Mlp;
+use felix_graph::models;
+use felix_records::Record;
+use felix_sim::DeviceConfig;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn tiny_network() -> Vec<felix_graph::Task> {
+    extract_subgraphs(&models::llama_with_config(1, 16, 128, 4, 344, 2))
+}
+
+fn quick_options(threads: usize) -> FelixOptions {
+    FelixOptions { n_seeds: 2, n_steps: 15, threads, ..Default::default() }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "felix-supervision-{}-{}-{tag}",
+        std::process::id(),
+        n
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn history_bits(opt: &Optimizer) -> Vec<(u64, u64)> {
+    opt.history.iter().map(|p| (p.time_s.to_bits(), p.latency_ms.to_bits())).collect()
+}
+
+fn assert_tasks_bit_identical(a: &Optimizer, b: &Optimizer) {
+    for (ta, tb) in a.tasks().iter().zip(b.tasks()) {
+        assert_eq!(ta.best_latency_ms.to_bits(), tb.best_latency_ms.to_bits());
+        assert_eq!(ta.best_schedule, tb.best_schedule);
+        assert_eq!(ta.measured.len(), tb.measured.len());
+        for (ma, mb) in ta.measured.iter().zip(&tb.measured) {
+            assert_eq!(ma.0, mb.0);
+            assert_eq!(
+                ma.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                mb.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(ma.2.to_bits(), mb.2.to_bits());
+        }
+        assert_eq!(ta.sketch_modes(), tb.sketch_modes());
+    }
+}
+
+/// Byte-patches the (private) output-layer bias of a model to NaN through
+/// its serialized form, so every prediction — and every gradient the
+/// descent consumes — is NaN. Hidden-layer NaNs never reach the output
+/// because the ReLU's `f32::max` swallows them.
+fn nan_model(base: &Mlp) -> Mlp {
+    let mut bytes = Vec::new();
+    base.save(&mut bytes).expect("save");
+    let d = base.input_mean.len();
+    let off = bytes.len() - 2 * (8 + 4 * d) - 4;
+    bytes[off..off + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+    Mlp::load(bytes.as_slice()).expect("load")
+}
+
+#[test]
+fn supervision_on_is_bit_identical_to_supervision_off() {
+    // The tentpole acceptance bar: with a healthy model, the fully
+    // supervised run (default thresholds) must be byte-identical to a run
+    // with supervision disabled — same curve, same clock, same task state —
+    // at 1, 2, and 4 threads. Supervision observes the descent; on a
+    // healthy run it must never perturb it.
+    for threads in [1usize, 2, 4] {
+        let device = DeviceConfig::a5000();
+        let model = pretrained_cost_model(&device, ModelQuality::Fast);
+        let mut unsupervised =
+            Optimizer::with_options(tiny_network(), model.clone(), device, quick_options(threads))
+                .with_supervisor(SupervisorOptions { enabled: false, ..Default::default() });
+        let n_rounds = unsupervised.tasks().len() + 2;
+        unsupervised.optimize_all(n_rounds, 4);
+
+        let mut supervised =
+            Optimizer::with_options(tiny_network(), model, device, quick_options(threads));
+        supervised.optimize_all(n_rounds, 4);
+
+        assert_eq!(
+            history_bits(&supervised),
+            history_bits(&unsupervised),
+            "{threads} threads"
+        );
+        assert_eq!(
+            supervised.tuning_time_s().to_bits(),
+            unsupervised.tuning_time_s().to_bits()
+        );
+        assert_tasks_bit_identical(&unsupervised, &supervised);
+        // A healthy run trips nothing and degrades nothing.
+        for s in &supervised.stats {
+            assert_eq!(s.seed_restarts, 0, "healthy run must not restart seeds");
+            assert_eq!(s.nonfinite_events, 0);
+            assert_eq!(s.panics_caught, 0);
+            assert_eq!(s.degraded_sketches, 0);
+        }
+        for t in supervised.tasks() {
+            assert!(t.sketch_modes().iter().all(|m| *m == SketchMode::Gradient));
+        }
+    }
+}
+
+#[test]
+fn nan_cost_model_run_degrades_and_completes() {
+    // NaN-chaos: a cost model whose every prediction is NaN floods the
+    // descent with non-finite objectives. The supervisor must restart the
+    // seeds from their dedicated substreams, freeze them when the budget
+    // runs out, walk the affected sketches down the degradation ladder,
+    // and still finish every round with real (finite) measurements from
+    // the evolutionary fallback.
+    let device = DeviceConfig::a5000();
+    let base = pretrained_cost_model(&device, ModelQuality::Fast);
+    let mut opt =
+        Optimizer::with_options(tiny_network(), nan_model(&base), device, quick_options(1));
+    let n_rounds = opt.tasks().len() * 3;
+    opt.optimize_all(n_rounds, 4);
+
+    assert!(!opt.history.is_empty(), "NaN model must not stall the curve");
+    for p in &opt.history {
+        assert!(p.latency_ms.is_finite(), "measured latency stays finite");
+        assert!(p.time_s.is_finite());
+    }
+    let restarts: usize = opt.stats.iter().map(|s| s.seed_restarts).sum();
+    let nonfinite: usize = opt.stats.iter().map(|s| s.nonfinite_events).sum();
+    assert!(restarts > 0, "NaN objectives must trigger seed restarts");
+    assert!(nonfinite > 0, "NaN objectives must be detected, not laundered");
+    // Exhausted sketches walked down the ladder.
+    let degraded: usize = opt
+        .tasks()
+        .iter()
+        .flat_map(|t| t.sketch_modes())
+        .filter(|m| **m != SketchMode::Gradient)
+        .count();
+    assert!(degraded > 0, "persistent NaN must degrade sketches off gradient mode");
+    for t in opt.tasks() {
+        if t.rounds > 0 {
+            assert!(!t.measured.is_empty(), "every tuned task still gets measurements");
+            assert!(t.best_latency_ms.is_finite());
+        }
+    }
+}
+
+#[test]
+fn injected_panic_poisons_only_that_sketch() {
+    // Panic isolation: a sketch whose descent panics (injected via the
+    // deterministic test hook) is caught at the per-sketch boundary,
+    // quarantined to the evolutionary fallback, and the rest of the round
+    // — other sketches, other tasks, measurements — proceeds untouched.
+    let device = DeviceConfig::a5000();
+    let model = pretrained_cost_model(&device, ModelQuality::Fast);
+    let opts = FelixOptions {
+        supervisor: SupervisorOptions {
+            inject_panic_sketch: Some(0),
+            ..Default::default()
+        },
+        ..quick_options(1)
+    };
+    let mut opt = Optimizer::with_options(tiny_network(), model, device, opts);
+    let n_rounds = opt.tasks().len() + 2;
+    opt.optimize_all(n_rounds, 4);
+
+    let panics: usize = opt.stats.iter().map(|s| s.panics_caught).sum();
+    assert!(panics > 0, "the injected panic must be caught, not propagated");
+    for t in opt.tasks() {
+        if t.rounds == 0 {
+            continue;
+        }
+        assert_eq!(
+            t.sketch_modes()[0],
+            SketchMode::Evolutionary,
+            "panicking sketch degrades straight to the evolutionary rung"
+        );
+        for (i, m) in t.sketch_modes().iter().enumerate().skip(1) {
+            assert_eq!(*m, SketchMode::Gradient, "sketch {i} must stay healthy");
+        }
+        assert!(!t.measured.is_empty(), "the round still measures candidates");
+    }
+}
+
+#[test]
+fn killed_degraded_run_resumes_byte_identically() {
+    // Crash mid-degradation: checkpoint every round under the NaN model,
+    // kill halfway, resume. The restored run must replay the same
+    // degradation decisions (sketch modes come back from the snapshot) and
+    // reproduce the uninterrupted curve byte for byte.
+    let device = DeviceConfig::a5000();
+    let base = pretrained_cost_model(&device, ModelQuality::Fast);
+    let mut uninterrupted =
+        Optimizer::with_options(tiny_network(), nan_model(&base), device, quick_options(1));
+    let n_rounds = uninterrupted.tasks().len() * 2;
+    uninterrupted.optimize_all(n_rounds, 4);
+    assert!(
+        uninterrupted
+            .tasks()
+            .iter()
+            .flat_map(|t| t.sketch_modes())
+            .any(|m| *m != SketchMode::Gradient),
+        "the scenario must actually degrade something"
+    );
+
+    let dir = tmp_dir("degraded-resume");
+    let m = n_rounds / 2;
+    {
+        let mut first =
+            Optimizer::with_options(tiny_network(), nan_model(&base), device, quick_options(1))
+                .with_checkpointing(&dir, 1);
+        first.optimize_all(m, 4);
+        // Dropped here: the "crash", mid-degradation.
+    }
+    let mut resumed =
+        Optimizer::resume_from_checkpoint(tiny_network(), device, quick_options(1), &dir)
+            .expect("resume from checkpoint");
+    assert_eq!(resumed.rounds_done(), m);
+    resumed.optimize_all(n_rounds - m, 4);
+
+    assert_eq!(history_bits(&resumed), history_bits(&uninterrupted));
+    assert_eq!(
+        resumed.tuning_time_s().to_bits(),
+        uninterrupted.tuning_time_s().to_bits()
+    );
+    assert_tasks_bit_identical(&uninterrupted, &resumed);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn health_records_replay_restores_degradation_state() {
+    // The record log captures health lines alongside measurements; a fresh
+    // optimizer replaying the log must come back with the same per-sketch
+    // modes the degraded run ended with.
+    let device = DeviceConfig::a5000();
+    let base = pretrained_cost_model(&device, ModelQuality::Fast);
+    let dir = tmp_dir("health-replay");
+    let log = dir.join("records.jsonl");
+    let mut tuned =
+        Optimizer::with_options(tiny_network(), nan_model(&base), device, quick_options(1))
+            .with_record_log(&log)
+            .expect("open record log");
+    let n_rounds = tuned.tasks().len() * 2;
+    tuned.optimize_all(n_rounds, 4);
+    assert!(
+        tuned
+            .tasks()
+            .iter()
+            .flat_map(|t| t.sketch_modes())
+            .any(|m| *m != SketchMode::Gradient),
+        "the scenario must actually degrade something"
+    );
+    let records = felix_records::read_all_records(&log).expect("read log");
+    assert!(
+        records.iter().any(|r| matches!(r, Record::Health(_))),
+        "degraded rounds must append health records"
+    );
+
+    let replayed =
+        Optimizer::with_options(tiny_network(), nan_model(&base), device, quick_options(1))
+            .with_record_log(&log)
+            .expect("replay record log");
+    for (ta, tb) in tuned.tasks().iter().zip(replayed.tasks()) {
+        assert_eq!(ta.sketch_modes(), tb.sketch_modes(), "modes replay from the log");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn deadline_overrun_is_charged_to_the_tuning_clock() {
+    // A zero deadline makes every descent overrun; the watchdog must
+    // report the overrun and charge it to the simulated clock (a stalling
+    // descent cannot make the curve look better than it is).
+    let device = DeviceConfig::a5000();
+    let model = pretrained_cost_model(&device, ModelQuality::Fast);
+    let opts = FelixOptions {
+        supervisor: SupervisorOptions { deadline_s: 0.0, ..Default::default() },
+        ..quick_options(1)
+    };
+    let mut opt = Optimizer::with_options(tiny_network(), model, device, opts);
+    let n_rounds = opt.tasks().len() + 2;
+    opt.optimize_all(n_rounds, 4);
+    let overrun: f64 = opt.stats.iter().map(|s| s.deadline_overrun_s).sum();
+    assert!(overrun > 0.0, "a zero deadline must always overrun");
+    assert!(opt.tuning_time_s() > overrun, "overrun is part of the clock");
+    assert!(!opt.history.is_empty());
+}

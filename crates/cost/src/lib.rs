@@ -17,7 +17,9 @@ pub mod trainer;
 
 pub use dataset::{generate_dataset, Dataset, Sample};
 pub use sampling::{crossover_schedules, mutate_schedule, random_schedule};
-pub use trainer::{fine_tune, pretrain, TrainConfig};
+pub use trainer::{
+    fine_tune, finite_sample_indices, nonfinite_sample_count, pretrain, TrainConfig,
+};
 
 use felix_features::FEATURE_COUNT;
 use rand::Rng;

@@ -36,12 +36,36 @@ impl Default for TrainConfig {
     }
 }
 
+/// Indices of the samples with a fully finite feature vector and score.
+/// A NaN or infinite sample — e.g. a faulted measurement whose latency
+/// never became a real number — would poison every weight (and the input
+/// normalization) it touches, so training skips such samples entirely.
+/// With an all-finite set this is the identity list and training is
+/// bit-identical to an unfiltered run.
+pub fn finite_sample_indices(samples: &[Sample]) -> Vec<usize> {
+    samples
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.score.is_finite() && s.logfeats.iter().all(|f| f.is_finite()))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// How many samples of `samples` training would skip as non-finite.
+pub fn nonfinite_sample_count(samples: &[Sample]) -> usize {
+    samples.len() - finite_sample_indices(samples).len()
+}
+
 /// Pretrains a model on a dataset; returns per-epoch mean training loss.
 ///
-/// Fits input normalization before the first epoch.
+/// Fits input normalization before the first epoch, on the finite samples
+/// only (a single NaN feature would otherwise poison the mean for every
+/// input dimension).
 pub fn pretrain(mlp: &mut Mlp, samples: &[Sample], cfg: &TrainConfig) -> Vec<f64> {
     assert!(!samples.is_empty(), "cannot train on an empty dataset");
-    let inputs: Vec<Vec<f64>> = samples.iter().map(|s| s.logfeats.clone()).collect();
+    let keep = finite_sample_indices(samples);
+    assert!(!keep.is_empty(), "cannot train: every sample is non-finite");
+    let inputs: Vec<Vec<f64>> = keep.iter().map(|&i| samples[i].logfeats.clone()).collect();
     mlp.fit_normalization(&inputs);
     let mut adam = AdamState::for_model(mlp);
     run_epochs(mlp, samples, cfg, &mut adam)
@@ -58,12 +82,13 @@ pub fn pretrain(mlp: &mut Mlp, samples: &[Sample], cfg: &TrainConfig) -> Vec<f64
 /// rank loss is offset-invariant, so the update can only spend gradient on
 /// ordering.
 pub fn fine_tune(mlp: &mut Mlp, samples: &[Sample], epochs: usize, lr: f32) -> f64 {
-    if samples.is_empty() {
+    let n_finite = samples.len() - nonfinite_sample_count(samples);
+    if n_finite == 0 {
         return 0.0;
     }
     let cfg = TrainConfig {
         epochs,
-        batch_size: samples.len().min(64),
+        batch_size: n_finite.min(64),
         lr,
         seed: 1,
         loss: LossKind::PairwiseRank,
@@ -80,7 +105,10 @@ fn run_epochs(
     adam: &mut AdamState,
 ) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut order: Vec<usize> = (0..samples.len()).collect();
+    // Train only on finite samples; with an all-finite set this is the
+    // identity order and the shuffle/batch walk is byte-identical to the
+    // unfiltered loop.
+    let mut order: Vec<usize> = finite_sample_indices(samples);
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     for _ in 0..cfg.epochs {
         for i in (1..order.len()).rev() {
@@ -234,6 +262,52 @@ mod tests {
         fine_tune(&mut mlp, &subset, 12, 3e-4);
         let after = rank_correlation(&mlp, &subset);
         assert!(after > before, "fine-tune rank corr {before} -> {after}");
+    }
+
+    #[test]
+    fn fine_tune_skips_nonfinite_samples_bit_identically() {
+        // A faulted measurement can leave a NaN latency in the replay
+        // buffer; fine-tuning must skip (and count) such samples, and
+        // skipping must equal removal exactly — same shuffle walk, same
+        // batches, bit-identical weights.
+        let (train, _) = shared_dataset().split(3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut base = Mlp::new(&mut rng);
+        pretrain(&mut base, &train, &TrainConfig { epochs: 2, batch_size: 64, lr: 1e-3, seed: 5, ..Default::default() });
+
+        let mut poisoned: Vec<Sample> = train[..16].to_vec();
+        // Byte-patch the scores the way a torn record would: reinterpret a
+        // NaN bit pattern, not a literal.
+        poisoned[3].score = f64::from_le_bytes(f64::NAN.to_le_bytes());
+        poisoned[11].logfeats[0] = f64::from_bits(0x7FF8_0000_0000_0001);
+        assert_eq!(nonfinite_sample_count(&poisoned), 2);
+        assert_eq!(finite_sample_indices(&poisoned).len(), 14);
+
+        let clean: Vec<Sample> = poisoned
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 3 && *i != 11)
+            .map(|(_, s)| s.clone())
+            .collect();
+        let mut m_poisoned = base.clone();
+        let mut m_clean = base.clone();
+        let loss_p = fine_tune(&mut m_poisoned, &poisoned, 6, 3e-4);
+        let loss_c = fine_tune(&mut m_clean, &clean, 6, 3e-4);
+        assert!(loss_p.is_finite(), "loss stayed finite: {loss_p}");
+        assert_eq!(loss_p.to_bits(), loss_c.to_bits(), "skip == removal (loss)");
+        let (mut bp, mut bc) = (Vec::new(), Vec::new());
+        m_poisoned.save(&mut bp).expect("save");
+        m_clean.save(&mut bc).expect("save");
+        assert_eq!(bp, bc, "skip == removal (weights, byte-for-byte)");
+
+        // All-non-finite round buffer: a no-op, not a panic.
+        let all_bad: Vec<Sample> = poisoned[3..4].to_vec();
+        let mut m = base.clone();
+        assert_eq!(fine_tune(&mut m, &all_bad, 4, 3e-4), 0.0);
+        let (mut b0, mut b1) = (Vec::new(), Vec::new());
+        base.save(&mut b0).expect("save");
+        m.save(&mut b1).expect("save");
+        assert_eq!(b0, b1, "model untouched");
     }
 
     #[test]

@@ -301,6 +301,16 @@ impl CompiledGradTape {
         out.extend(self.roots.iter().map(|&r| vals[r as usize * batch + lane]));
     }
 
+    /// True when every root of `lane` in a [`Self::forward_batch`] result
+    /// is finite. The descent supervisor calls this per seed per step to
+    /// catch NaN/Inf at the tape level — before a poisoned feature vector
+    /// reaches the cost model or the adjoint pass.
+    pub fn lane_roots_finite(&self, vals: &[f64], batch: usize, lane: usize) -> bool {
+        self.roots
+            .iter()
+            .all(|&r| vals[r as usize * batch + lane].is_finite())
+    }
+
     /// Reverse adjoint pass over a [`Self::forward_batch`] result.
     ///
     /// `seeds` holds the adjoint seed of every root, root-major
@@ -590,6 +600,26 @@ mod tests {
                 assert_eq!(fast[k].to_bits(), full[r.index()].to_bits());
             }
         }
+    }
+
+    #[test]
+    fn lane_roots_finite_flags_only_poisoned_lanes() {
+        let (p, roots, n_vars) = example_pool();
+        let tape = CompiledGradTape::compile(&p, &roots);
+        // lane 0 healthy; lane 1 overflows exp(y/3); lane 2 NaN via sqrt(x<0).
+        let points = [[2.0, 3.0], [1.0, 3000.0], [-1.0, 1.0]];
+        let batch = points.len();
+        let mut vars_soa = vec![0.0; n_vars * batch];
+        for (lane, pt) in points.iter().enumerate() {
+            for (v, &x) in pt.iter().enumerate() {
+                vars_soa[v * batch + lane] = x;
+            }
+        }
+        let mut vals = Vec::new();
+        tape.forward_batch(&vars_soa, batch, &mut vals);
+        assert!(tape.lane_roots_finite(&vals, batch, 0));
+        assert!(!tape.lane_roots_finite(&vals, batch, 1));
+        assert!(!tape.lane_roots_finite(&vals, batch, 2));
     }
 
     #[test]

@@ -116,6 +116,113 @@ impl TuningRecord {
     }
 }
 
+/// Version of the health-record wire format. Bumped whenever a field is
+/// added, removed, or re-encoded; readers skip lines from a newer version
+/// instead of guessing at their meaning.
+pub const HEALTH_RECORD_VERSION: usize = 1;
+
+/// One persisted descent-supervisor report: the health counters of a tuning
+/// round plus the authoritative per-sketch proposer modes *after* the
+/// round's degradation/recovery decisions were applied. Replaying these
+/// lines restores the degradation state of a resumed run, so it keeps
+/// making the same proposer choices as the run that wrote the log.
+///
+/// Counters are integers (exact in JSON); the one fractional field,
+/// `deadline_overrun_s`, is encoded as a 16-hex-digit bit pattern so it
+/// round-trips bit-exactly like every other float in the store.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HealthRecord {
+    /// Wire-format version ([`HEALTH_RECORD_VERSION`] when written).
+    pub version: usize,
+    /// Canonical task identity: [`task_key`] of the workload key + device.
+    pub task_key: u64,
+    /// Tuning round (0-based) whose descent produced this report.
+    pub round: usize,
+    /// Non-finite objective/gradient/feature events observed.
+    pub nonfinite_events: usize,
+    /// Monotone-divergence events observed.
+    pub divergence_events: usize,
+    /// Seed restarts performed (from dedicated RNG substreams).
+    pub seed_restarts: usize,
+    /// Gradient-norm clips applied.
+    pub grad_clips: usize,
+    /// Worker panics caught and quarantined.
+    pub panics_caught: usize,
+    /// Wall-clock descent overrun charged to the tuning clock (seconds).
+    pub deadline_overrun_s: f64,
+    /// Per-sketch proposer-mode labels after applying this report (see
+    /// `felix_ansor::SketchMode::label`); the authoritative replay state.
+    pub modes: Vec<String>,
+    /// Simulated tuning-clock time when the report was recorded.
+    pub time_s: f64,
+}
+
+impl HealthRecord {
+    /// Serializes the record as a single JSON line (no newline). The
+    /// `"kind":"health"` discriminator separates these lines from
+    /// measurement records, which predate kinds and carry none.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::Str("health".to_string())),
+            ("v", Json::Num(self.version as f64)),
+            ("task", Json::u64_hex(self.task_key)),
+            ("round", Json::Num(self.round as f64)),
+            ("nonfinite", Json::Num(self.nonfinite_events as f64)),
+            ("divergence", Json::Num(self.divergence_events as f64)),
+            ("restarts", Json::Num(self.seed_restarts as f64)),
+            ("grad_clips", Json::Num(self.grad_clips as f64)),
+            ("panics", Json::Num(self.panics_caught as f64)),
+            ("overrun_s", Json::f64_bits(self.deadline_overrun_s)),
+            (
+                "modes",
+                Json::Arr(self.modes.iter().map(|m| Json::Str(m.clone())).collect()),
+            ),
+            ("time_s", Json::Num(self.time_s)),
+        ])
+    }
+
+    /// Decodes a health record parsed from one log line. Returns `None`
+    /// for non-health lines and for lines written by a newer format
+    /// version.
+    pub fn from_json(doc: &Json) -> Option<HealthRecord> {
+        if doc.get("kind")?.as_str()? != "health" {
+            return None;
+        }
+        let version = doc.get("v")?.as_usize()?;
+        if version > HEALTH_RECORD_VERSION {
+            return None;
+        }
+        Some(HealthRecord {
+            version,
+            task_key: doc.get("task")?.as_u64_hex()?,
+            round: doc.get("round")?.as_usize()?,
+            nonfinite_events: doc.get("nonfinite")?.as_usize()?,
+            divergence_events: doc.get("divergence")?.as_usize()?,
+            seed_restarts: doc.get("restarts")?.as_usize()?,
+            grad_clips: doc.get("grad_clips")?.as_usize()?,
+            panics_caught: doc.get("panics")?.as_usize()?,
+            deadline_overrun_s: doc.get("overrun_s")?.as_f64_bits()?,
+            modes: doc
+                .get("modes")?
+                .as_arr()?
+                .iter()
+                .map(|m| m.as_str().map(str::to_string))
+                .collect::<Option<Vec<String>>>()?,
+            time_s: doc.get("time_s")?.as_f64()?,
+        })
+    }
+}
+
+/// One line of a mixed record log: either a hardware measurement or a
+/// descent-supervisor health report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// A measurement line (no `kind` field — the original wire format).
+    Measurement(TuningRecord),
+    /// A `"kind":"health"` supervisor line.
+    Health(HealthRecord),
+}
+
 /// Canonical task identity: an FNV-1a hash over the workload key (the
 /// subgraph's stable dedup key) and the device name, so a log can hold
 /// records for many networks and devices and each task replays only its
@@ -171,7 +278,21 @@ impl RecordLog {
     ///
     /// Returns any I/O error from writing.
     pub fn append(&mut self, record: &TuningRecord) -> std::io::Result<()> {
-        let mut line = record.to_json().write();
+        self.append_json(&record.to_json())
+    }
+
+    /// Appends one supervisor health report, with the same flush-per-append
+    /// durability as [`RecordLog::append`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing.
+    pub fn append_health(&mut self, record: &HealthRecord) -> std::io::Result<()> {
+        self.append_json(&record.to_json())
+    }
+
+    fn append_json(&mut self, doc: &Json) -> std::io::Result<()> {
+        let mut line = doc.write();
         line.push('\n');
         self.writer.write_all(line.as_bytes())?;
         self.writer.flush()
@@ -197,6 +318,24 @@ impl RecordLog {
 ///
 /// Returns I/O errors other than the file not existing.
 pub fn read_records(path: impl AsRef<Path>) -> std::io::Result<Vec<TuningRecord>> {
+    Ok(read_all_records(path)?
+        .into_iter()
+        .filter_map(|r| match r {
+            Record::Measurement(m) => Some(m),
+            Record::Health(_) => None,
+        })
+        .collect())
+}
+
+/// Reads every intact line of a mixed log at `path` — measurements and
+/// health reports, in append order. A missing file reads as an empty log;
+/// torn, corrupt, or unknown-kind lines are skipped exactly like in
+/// [`read_records`].
+///
+/// # Errors
+///
+/// Returns I/O errors other than the file not existing.
+pub fn read_all_records(path: impl AsRef<Path>) -> std::io::Result<Vec<Record>> {
     let mut bytes = Vec::new();
     match File::open(path.as_ref()) {
         Ok(mut f) => {
@@ -214,9 +353,21 @@ pub fn read_records(path: impl AsRef<Path>) -> std::io::Result<Vec<TuningRecord>
         if text.trim().is_empty() {
             continue;
         }
-        if let Some(rec) = Json::parse(text).ok().as_ref().and_then(TuningRecord::from_json)
-        {
-            out.push(rec);
+        let Ok(doc) = Json::parse(text) else { continue };
+        // Measurement lines predate record kinds and carry no `kind`
+        // field; any line *with* a kind is dispatched on it, so a future
+        // kind is skipped rather than misparsed as a measurement.
+        match doc.get("kind") {
+            None => {
+                if let Some(rec) = TuningRecord::from_json(&doc) {
+                    out.push(Record::Measurement(rec));
+                }
+            }
+            Some(_) => {
+                if let Some(rec) = HealthRecord::from_json(&doc) {
+                    out.push(Record::Health(rec));
+                }
+            }
         }
     }
     Ok(out)
@@ -335,6 +486,83 @@ mod tests {
         std::fs::write(&path, &full[..cut]).expect("truncate");
         let recovered = read_records(&path).expect("read");
         assert_eq!(recovered, (0..4).map(sample_record).collect::<Vec<_>>());
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn sample_health(round: usize) -> HealthRecord {
+        HealthRecord {
+            version: HEALTH_RECORD_VERSION,
+            task_key: task_key("dense[256]", "RTX A5000"),
+            round,
+            nonfinite_events: 3 * round,
+            divergence_events: round,
+            seed_restarts: 2 * round + 1,
+            grad_clips: round,
+            panics_caught: round % 2,
+            deadline_overrun_s: 0.1 + 0.2, // non-representable sum
+            modes: vec!["gd".to_string(), "evo".to_string()],
+            time_s: 12.5 * round as f64,
+        }
+    }
+
+    #[test]
+    fn health_record_round_trips_bit_exactly() {
+        let path = tmp_path("health");
+        let mut log = RecordLog::open(&path).expect("open");
+        let rec = sample_health(2);
+        log.append_health(&rec).expect("append");
+        let all = read_all_records(&path).expect("read");
+        assert_eq!(all.len(), 1);
+        let Record::Health(back) = &all[0] else { panic!("health record") };
+        assert_eq!(back, &rec);
+        assert_eq!(
+            back.deadline_overrun_s.to_bits(),
+            rec.deadline_overrun_s.to_bits()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mixed_log_preserves_append_order_and_filters_by_kind() {
+        let path = tmp_path("mixed");
+        let mut log = RecordLog::open(&path).expect("open");
+        log.append(&sample_record(1)).expect("append");
+        log.append_health(&sample_health(0)).expect("append");
+        log.append(&sample_record(2)).expect("append");
+        let all = read_all_records(&path).expect("read all");
+        assert_eq!(
+            all,
+            vec![
+                Record::Measurement(sample_record(1)),
+                Record::Health(sample_health(0)),
+                Record::Measurement(sample_record(2)),
+            ]
+        );
+        // The measurement-only reader (pre-health callers) skips health
+        // lines instead of choking on them.
+        assert_eq!(
+            read_records(&path).expect("read"),
+            vec![sample_record(1), sample_record(2)]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn newer_version_and_unknown_kind_lines_are_skipped() {
+        let path = tmp_path("future");
+        let mut log = RecordLog::open(&path).expect("open");
+        let mut future = sample_health(1);
+        future.version = HEALTH_RECORD_VERSION + 1;
+        log.append_health(&future).expect("append");
+        drop(log);
+        let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+        writeln!(f, "{{\"kind\":\"telemetry\",\"x\":1}}").expect("write");
+        writeln!(f, "{}", sample_record(4).to_json().write()).expect("write");
+        drop(f);
+        assert_eq!(
+            read_all_records(&path).expect("read"),
+            vec![Record::Measurement(sample_record(4))]
+        );
         std::fs::remove_file(&path).ok();
     }
 

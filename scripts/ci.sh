@@ -45,6 +45,15 @@ cargo test -q -p felix --test persistence resume_from_checkpoint_matches_uninter
 cargo test -q -p felix --test persistence empty_record_log_is_bit_identical_at_every_thread_count
 cargo test -q -p felix-records --test log_recovery
 
+# Supervision smoke: the descent supervisor must be invisible on a healthy
+# run (supervision-on candidates/curves/tasks byte-identical to
+# supervision-off at 1, 2, and 4 tuner threads) and must carry a NaN-flooded
+# cost model to completion — finite curve, restarted seeds, degraded
+# sketches, no panic.
+cargo test -q -p felix --test supervision supervision_on_is_bit_identical_to_supervision_off
+cargo test -q -p felix --test supervision nan_cost_model_run_degrades_and_completes
+
 # Tape-equivalence smoke: asserts the compiled gradient tape is bit-identical
-# to the pool-walking objective oracle (no timing claims in CI).
+# to the pool-walking objective oracle (no timing claims in CI). The same
+# binary re-checks supervision on/off candidate parity on the healthy path.
 TUNER_BENCH_SMOKE=1 FELIX_FAST=1 cargo run -q --release -p felix-bench --bin tuner_bench
