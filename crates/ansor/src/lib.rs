@@ -12,7 +12,7 @@ pub mod evolution;
 
 pub use evolution::EvolutionaryProposer;
 
-use felix_cost::{fine_tune, latency_to_score, log_transform, Mlp, Sample};
+use felix_cost::{fine_tune, ingest_sample, Mlp, Sample};
 use felix_features::{extract_features, FeatureSet};
 use felix_graph::lower::lower_subgraph;
 use felix_graph::Task;
@@ -240,6 +240,11 @@ pub struct SearchTask {
     /// [`SearchTask::apply_health`] (all-[`SketchMode::Gradient`] until the
     /// supervisor reports trouble).
     sketch_modes: Vec<SketchMode>,
+    /// Cached warm-start hints `(sketch, values)` — schedules transferred
+    /// from a structurally identical task in a schedule store. Proposers
+    /// may seed descent from them; they are never measured directly and an
+    /// empty list leaves every proposer byte-identical to a hint-free run.
+    pub warm_hints: Vec<(usize, Vec<f64>)>,
     /// Rounds spent on this task.
     pub rounds: usize,
 }
@@ -300,6 +305,7 @@ impl SearchTask {
             fail_streak: vec![0; n_sketches],
             quarantined: vec![false; n_sketches],
             sketch_modes: vec![SketchMode::Gradient; n_sketches],
+            warm_hints: Vec::new(),
             rounds: 0,
         }
     }
@@ -446,6 +452,7 @@ impl SearchTask {
             fail_streak: self.fail_streak.clone(),
             quarantined: self.quarantined.clone(),
             sketch_modes: self.sketch_modes.clone(),
+            warm_hints: self.warm_hints.clone(),
             rounds: self.rounds,
         }
     }
@@ -474,6 +481,7 @@ impl SearchTask {
         self.fail_streak = snap.fail_streak;
         self.quarantined = snap.quarantined;
         self.sketch_modes = snap.sketch_modes;
+        self.warm_hints = snap.warm_hints;
         self.rounds = snap.rounds;
         self.measured_keys = snap
             .measured
@@ -486,10 +494,7 @@ impl SearchTask {
             .iter()
             .map(|(sk, vals, latency)| {
                 let st = &self.sketches[*sk];
-                Sample {
-                    logfeats: log_transform(&st.features.eval(&st.program, vals)),
-                    score: latency_to_score(*latency),
-                }
+                ingest_sample(&st.program, &st.features, vals, *latency)
             })
             .collect();
         self.measured = snap.measured;
@@ -519,6 +524,8 @@ pub struct TaskSnapshot {
     pub quarantined: Vec<bool>,
     /// Per-sketch degradation-ladder rungs.
     pub sketch_modes: Vec<SketchMode>,
+    /// Cached warm-start hints (schedule-store transfers).
+    pub warm_hints: Vec<(usize, Vec<f64>)>,
     /// Rounds spent on the task.
     pub rounds: usize,
 }
@@ -574,6 +581,12 @@ pub struct TunerStats {
     /// Wall-clock descent overrun charged to the tuning clock this round
     /// (seconds; zero unless the deadline watchdog fired).
     pub deadline_overrun_s: f64,
+    /// Tasks served a finished schedule straight from a persistent
+    /// schedule store (exact cache hit: no tuning, no RNG or clock spend).
+    /// Zero for every proposer round; reported by the cache layer.
+    pub schedule_cache_hits: usize,
+    /// Tasks warm-started from a structurally matching store entry.
+    pub schedule_cache_warm_starts: usize,
 }
 
 impl TunerStats {
@@ -608,6 +621,12 @@ impl TunerStats {
                 self.panics_caught,
                 self.degraded_sketches,
                 self.deadline_overrun_s,
+            ));
+        }
+        if self.schedule_cache_hits > 0 || self.schedule_cache_warm_starts > 0 {
+            line.push_str(&format!(
+                " sched-cache[hit {} warm {}]",
+                self.schedule_cache_hits, self.schedule_cache_warm_starts,
             ));
         }
         line
@@ -904,11 +923,7 @@ pub fn tune_task_round_with_sink(
         }
         match fate {
             Ok(latency) => {
-                let raw = st.features.eval(&st.program, &vals);
-                new_samples.push(Sample {
-                    logfeats: log_transform(&raw),
-                    score: latency_to_score(latency),
-                });
+                new_samples.push(ingest_sample(&st.program, &st.features, &vals, latency));
                 task.record(sketch, vals, latency);
                 report.measured += 1;
             }

@@ -1,0 +1,175 @@
+//! Schedule-cache benchmark: cold tuning vs structural warm start vs exact
+//! cache hit on the same network.
+//!
+//! Three runs against one persistent schedule store:
+//!
+//! 1. **cold** — empty store; tunes until every task has a schedule and
+//!    records the wall-clock time-to-first-full-schedule plus the
+//!    simulated-time convergence curve (the store is populated as a side
+//!    effect);
+//! 2. **warm** — the same architecture at different extents against a copy
+//!    of the cold run's store: no workload key matches, so every task
+//!    warm-starts from a structural near-miss, and the convergence curve is
+//!    compared against that network's own cold run;
+//! 3. **hit** — a fresh optimizer on the cold network against the populated
+//!    store: every task is an exact hit, served at attach time.
+//!
+//! Always asserts the cache-layer guarantees — 100% hit rate on the hit
+//! run with *zero* simulated budget and *zero* master-RNG draws, warm
+//! starts actually engaged on the warm run — and writes
+//! `results/BENCH_cache.json` with the hit rate, per-mode
+//! time-to-first-schedule, and the cold-vs-warm convergence curves.
+//! `TUNER_BENCH_SMOKE=1` (or `FELIX_FAST=1`) shrinks the search so CI
+//! finishes in seconds.
+
+use felix::{extract_subgraphs, FelixOptions, Optimizer};
+use felix_bench::{cached_model, write_result, Scale};
+use felix_graph::{models, Graph};
+use felix_sim::DeviceConfig;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+fn options(scale: Scale) -> FelixOptions {
+    match scale {
+        Scale::Fast => FelixOptions { n_seeds: 2, n_steps: 15, ..Default::default() },
+        _ => FelixOptions { n_seeds: 4, n_steps: 50, ..Default::default() },
+    }
+}
+
+/// The cold/hit network and its different-extent sibling for the warm run.
+fn networks(scale: Scale) -> (Graph, Graph) {
+    match scale {
+        Scale::Fast => (
+            models::llama_with_config(1, 16, 128, 4, 344, 2),
+            models::llama_with_config(1, 32, 256, 4, 688, 2),
+        ),
+        _ => (
+            models::llama_with_config(1, 64, 512, 8, 1376, 2),
+            models::llama_with_config(1, 128, 1024, 8, 2752, 2),
+        ),
+    }
+}
+
+/// Tunes until every task has a schedule; returns the optimizer, the
+/// wall-clock µs until the first full schedule set, and the curve.
+fn tune_to_first_schedule(
+    mut opt: Optimizer,
+    measure_per_round: usize,
+) -> (Optimizer, f64, Vec<(f64, f64)>) {
+    let start = Instant::now();
+    let mut first_us = None;
+    let n_tasks = opt.tasks().len();
+    let mut curve = Vec::new();
+    for _ in 0..n_tasks + 2 {
+        opt.optimize_all(1, measure_per_round);
+        if first_us.is_none() && opt.tasks().iter().all(|t| t.best_schedule.is_some()) {
+            first_us = Some(start.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    curve.extend(opt.history.iter().map(|p| (p.time_s, p.latency_ms)));
+    let first_us = first_us.expect("n_tasks + 2 rounds must measure every task");
+    (opt, first_us, curve)
+}
+
+fn curve_json(curve: &[(f64, f64)]) -> String {
+    let pts: Vec<String> =
+        curve.iter().map(|(t, l)| format!("[{t:.6}, {l:.6}]")).collect();
+    format!("[{}]", pts.join(", "))
+}
+
+fn copy_store(store: &Path, tag: &str) -> PathBuf {
+    let copy = store.with_file_name(format!("schedules-{tag}.jsonl"));
+    std::fs::copy(store, &copy).expect("copy schedule store");
+    copy
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let smoke = std::env::var("TUNER_BENCH_SMOKE").is_ok() || scale == Scale::Fast;
+    let device = DeviceConfig::a5000();
+    let model = cached_model(&device, scale);
+    let opts = options(if smoke { Scale::Fast } else { scale });
+    let measure = if smoke { 4 } else { 8 };
+    let (net_a, net_b) = networks(if smoke { Scale::Fast } else { scale });
+    let dir = std::env::temp_dir().join(format!("felix-cache-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let store = dir.join("schedules.jsonl");
+    std::fs::remove_file(&store).ok();
+
+    println!("schedule-cache benchmark ({} tasks cold network)", {
+        extract_subgraphs(&net_a).len()
+    });
+
+    // --- cold: empty store, populates it ------------------------------------
+    let cold = Optimizer::with_options(extract_subgraphs(&net_a), model.clone(), device, opts)
+        .with_schedule_store(&store)
+        .expect("open schedule store");
+    let n_tasks = cold.tasks().len();
+    let (cold, cold_us, _) = tune_to_first_schedule(cold, measure);
+    let cold_cache = cold.schedule_cache().expect("store attached");
+    assert_eq!(cold_cache.hits, 0, "empty store cannot serve hits");
+    assert_eq!(cold_cache.warm_starts, 0, "empty store cannot warm-start");
+    println!("  cold:  first full schedule after {:>12.0} µs wall", cold_us);
+
+    // --- warm: different extents, same structure ----------------------------
+    // Baseline first: the scaled network tuned storeless.
+    let base_b =
+        Optimizer::with_options(extract_subgraphs(&net_b), model.clone(), device, opts);
+    let (base_b, _, curve_cold_b) = tune_to_first_schedule(base_b, measure);
+    let warm = Optimizer::with_options(extract_subgraphs(&net_b), model.clone(), device, opts)
+        .with_schedule_store(copy_store(&store, "warm"))
+        .expect("open schedule store");
+    let warm_starts = warm.schedule_cache().expect("attached").warm_starts;
+    assert_eq!(warm.schedule_cache().expect("attached").hits, 0);
+    assert!(warm_starts > 0, "structural near-miss must warm-start");
+    let (warm, warm_us, curve_warm_b) = tune_to_first_schedule(warm, measure);
+    println!(
+        "  warm:  {warm_starts}/{} tasks warm-started; first full schedule after {:>12.0} µs wall",
+        warm.tasks().len(),
+        warm_us
+    );
+    println!(
+        "         converged {:.4} ms (cold baseline {:.4} ms)",
+        felix_ansor::network_latency(warm.tasks()),
+        felix_ansor::network_latency(base_b.tasks()),
+    );
+
+    // --- hit: exact entries, served at attach time --------------------------
+    let start = Instant::now();
+    let hit = Optimizer::with_options(extract_subgraphs(&net_a), model, device, opts)
+        .with_schedule_store(copy_store(&store, "hit"))
+        .expect("reopen schedule store");
+    let hit_us = start.elapsed().as_secs_f64() * 1e6;
+    let hits = hit.schedule_cache().expect("attached").hits;
+    let hit_rate = hits as f64 / n_tasks as f64;
+    assert_eq!(hits, n_tasks, "every task must be an exact hit");
+    assert_eq!(
+        hit.tuning_time_s().to_bits(),
+        0.0f64.to_bits(),
+        "exact hits must spend zero measurement budget"
+    );
+    assert_eq!(
+        hit.rng_state(),
+        Optimizer::with_options(extract_subgraphs(&net_a), cached_model(&device, scale), device, opts)
+            .rng_state(),
+        "exact hits must not draw randomness"
+    );
+    assert!(hit.tasks().iter().all(|t| t.best_schedule.is_some()));
+    let module = hit.compile_with_best_configs();
+    println!(
+        "  hit:   {hits}/{n_tasks} exact hits in {hit_us:.0} µs wall, zero budget; compiled {:.4} ms",
+        module.latency_ms()
+    );
+
+    write_result(
+        "BENCH_cache.json",
+        &format!(
+            "{{\n  \"n_tasks\": {n_tasks},\n  \"hit_rate\": {hit_rate:.3},\n  \"warm_starts\": {warm_starts},\n  \"time_to_first_schedule_us\": {{\n    \"cold\": {cold_us:.1},\n    \"warm\": {warm_us:.1},\n    \"hit\": {hit_us:.1}\n  }},\n  \"hit_budget_s\": {:.1},\n  \"convergence_scaled_network\": {{\n    \"cold\": {},\n    \"warm\": {}\n  }},\n  \"smoke\": {smoke}\n}}\n",
+            hit.tuning_time_s(),
+            curve_json(&curve_cold_b),
+            curve_json(&curve_warm_b),
+        ),
+    );
+    println!("  wrote results/BENCH_cache.json");
+    std::fs::remove_dir_all(&dir).ok();
+}

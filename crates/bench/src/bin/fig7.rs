@@ -13,6 +13,7 @@ use felix_bench::{
 use felix_sim::DeviceConfig;
 
 fn main() {
+    felix_bench::schedule_store_from_args();
     let scale = Scale::from_env();
     let mut rows = Vec::new();
     println!("Figure 7: Felix vs Ansor-TenSet tuning curves (batch 1)");

@@ -1,5 +1,6 @@
 //! The user-facing programming interface, mirroring the paper's Fig. 5.
 
+use crate::cache::ScheduleCache;
 use crate::gd::{FelixOptions, GradientProposer};
 use crate::persist::{self, CheckpointState, RecordLogSink};
 use felix_ansor::{
@@ -72,6 +73,7 @@ pub struct Optimizer {
     fault_plan: FaultPlan,
     measure_policy: MeasurePolicy,
     sink: Option<RecordLogSink>,
+    schedule_store: Option<ScheduleCache>,
     checkpoint_dir: Option<PathBuf>,
     checkpoint_every: usize,
     rounds_done: usize,
@@ -108,6 +110,7 @@ impl Optimizer {
             fault_plan: FaultPlan::none(),
             measure_policy: MeasurePolicy::default(),
             sink: None,
+            schedule_store: None,
             checkpoint_dir: None,
             checkpoint_every: 1,
             rounds_done: 0,
@@ -175,6 +178,53 @@ impl Optimizer {
         Ok(self)
     }
 
+    /// Attaches the global schedule store at `path` and applies it to every
+    /// task that has no search state yet:
+    ///
+    /// - an **exact hit** (same workload key + device, schedule still valid
+    ///   for the live sketches) is recorded as the task's incumbent —
+    ///   serving a tuned schedule with *zero* measurement budget, RNG
+    ///   draws, or clock advancement;
+    /// - a **structural near-miss** (same [`crate::cache::structure_hash`],
+    ///   different extents) becomes a warm-start hint, seeding descent from
+    ///   the cached optimum while leaving every RNG substream untouched;
+    /// - tuning rounds publish each task's incumbent back to the store.
+    ///
+    /// Cache activity is reported as one [`TunerStats`] entry (with
+    /// `schedule_cache_hits` / `schedule_cache_warm_starts` set) pushed
+    /// onto [`Optimizer::stats`] — only when the store actually served
+    /// something, so an empty store leaves the run byte-identical to a
+    /// storeless one.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from opening or replaying the store.
+    pub fn with_schedule_store(mut self, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let mut cache = ScheduleCache::open(path)?;
+        let device = self.sim.device.name;
+        for task in &mut self.tasks {
+            cache.apply(task, device);
+        }
+        if cache.hits + cache.warm_starts > 0 {
+            self.stats.push(TunerStats {
+                schedule_cache_hits: cache.hits,
+                schedule_cache_warm_starts: cache.warm_starts,
+                ..Default::default()
+            });
+        }
+        self.schedule_store = Some(cache);
+        Ok(self)
+    }
+
+    /// Replaces the cost model with one pretrained elsewhere — typically a
+    /// transfer model from [`felix_cost::pretrain_transfer`] over other
+    /// tasks' record logs. Purely a different starting point for the same
+    /// deterministic fine-tuning; no search mechanics change.
+    pub fn with_transfer_model(mut self, model: Mlp) -> Self {
+        self.model = model;
+        self
+    }
+
     /// Enables checkpointing: after every `every_rounds` tuning rounds (and
     /// at the end of each `optimize_all` call) the full tuner state — task
     /// snapshots, cost-model weights, clock, and RNG position — is written
@@ -204,6 +254,10 @@ impl Optimizer {
             rounds_done: self.rounds_done,
             checkpoint_every: self.checkpoint_every,
             record_log: self.sink.as_ref().map(|s| s.path().display().to_string()),
+            schedule_store: self
+                .schedule_store
+                .as_ref()
+                .map(|s| s.path().display().to_string()),
             history: self.history.clone(),
             tasks: self.tasks.iter().map(SearchTask::snapshot).collect(),
         };
@@ -266,6 +320,12 @@ impl Optimizer {
         if let Some(log_path) = state.record_log {
             opt.sink = Some(RecordLogSink::open(log_path, device.name)?);
         }
+        if let Some(store_path) = state.schedule_store {
+            // Reattached for publishing only: every task carries restored
+            // state, so `apply` would skip it anyway, and warm hints travel
+            // in the task snapshots.
+            opt.schedule_store = Some(ScheduleCache::open(store_path)?);
+        }
         Ok(opt)
     }
 
@@ -282,6 +342,18 @@ impl Optimizer {
     /// Simulated tuning time spent so far, in seconds.
     pub fn tuning_time_s(&self) -> f64 {
         self.clock.now_s()
+    }
+
+    /// The master RNG's current position. Lets callers assert that pure
+    /// state restoration (cache hits, config loads, checkpoint replays)
+    /// consumed zero randomness.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// The attached schedule cache, if any.
+    pub fn schedule_cache(&self) -> Option<&ScheduleCache> {
+        self.schedule_store.as_ref()
     }
 
     /// Runs `n_total_rounds` rounds of tuning with `measure_per_round`
@@ -323,6 +395,11 @@ impl Optimizer {
                 acc.round_reports.extend(chunk.round_reports);
                 acc.unmeasured_tasks = chunk.unmeasured_tasks;
                 self.rounds_done += 1;
+                // Publish on the same boundary as the checkpoint so a
+                // killed run leaves its incumbents in the store.
+                if let Some(cache) = &mut self.schedule_store {
+                    cache.publish(&self.tasks, self.sim.device.name);
+                }
                 if (i + 1) % self.checkpoint_every == 0 || i + 1 == n_total_rounds {
                     if let Err(e) = self.save_checkpoint() {
                         eprintln!("[felix] checkpoint write failed: {e}");
@@ -337,6 +414,9 @@ impl Optimizer {
             res
         };
         self.stats.extend(self.proposer.take_stats());
+        if let Some(cache) = &mut self.schedule_store {
+            cache.publish(&self.tasks, self.sim.device.name);
+        }
         res
     }
 

@@ -496,6 +496,30 @@ impl Proposer for GradientProposer {
                 health: SeedHealth::default(),
             });
         }
+        // Schedule-cache warm hints fill whatever warm slots the elites left
+        // (a task with measurements ignores hints — its own history wins).
+        // Hints consume no RNG: with none set, `slots` below starts at the
+        // same index with the same master-RNG position, so a hint-free task
+        // is byte-identical to a cache-unaware run.
+        for (sketch, x) in &task.warm_hints {
+            if seeds.len() >= (opts.n_seeds / 2).max(1) {
+                break;
+            }
+            if !gd_active.contains(sketch)
+                || x.len() != task.sketches[*sketch].program.vars.len()
+                || !task.sketches[*sketch].program.constraints_ok(x, 1e-9)
+            {
+                continue;
+            }
+            let y = objectives[*sketch].to_y_space(x);
+            let nv = y.len();
+            seeds.push(Seed {
+                sketch: *sketch,
+                y,
+                opt: AdamOpt::new(nv, opts.lr),
+                health: SeedHealth::default(),
+            });
+        }
         let slots: Vec<(usize, u64)> = if gd_active.is_empty() {
             Vec::new()
         } else {

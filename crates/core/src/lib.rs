@@ -38,6 +38,7 @@
 //! ```
 
 pub mod api;
+pub mod cache;
 pub mod gd;
 pub mod health;
 pub mod objective;
@@ -47,6 +48,7 @@ pub mod persist;
 pub use api::{
     extract_subgraphs, pretrained_cost_model, CompiledModule, ModelQuality, Optimizer,
 };
+pub use cache::{structure_hash, CacheOutcome, ScheduleCache};
 pub use health::SupervisorOptions;
 pub use persist::{replay_records, CheckpointState, RecordLogSink};
 pub use gd::{FelixOptions, GradientProposer};

@@ -31,8 +31,9 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Checkpoint document version, bumped on incompatible format changes.
-/// Version 2.0 added per-sketch supervision modes to task snapshots.
-const CHECKPOINT_VERSION: f64 = 2.0;
+/// Version 2.0 added per-sketch supervision modes to task snapshots;
+/// version 3.0 added schedule-store attachment and per-task warm hints.
+const CHECKPOINT_VERSION: f64 = 3.0;
 
 /// A [`MeasurementSink`] appending every measurement to a durable
 /// [`RecordLog`]. Write errors are reported once to stderr and then disable
@@ -181,10 +182,7 @@ pub fn replay_records(task: &mut SearchTask, records: &[Record], device_name: &s
     for i in n_before..task.measured.len() {
         let (sk, vals, latency) = &task.measured[i];
         let st = &task.sketches[*sk];
-        let sample = felix_cost::Sample {
-            logfeats: felix_cost::log_transform(&st.features.eval(&st.program, vals)),
-            score: felix_cost::latency_to_score(*latency),
-        };
+        let sample = felix_cost::ingest_sample(&st.program, &st.features, vals, *latency);
         task.samples.push(sample);
     }
     task.measured.len() - n_before
@@ -206,6 +204,10 @@ pub struct CheckpointState {
     pub checkpoint_every: usize,
     /// Path of the attached record log, if any, so resume reattaches it.
     pub record_log: Option<String>,
+    /// Path of the attached schedule store, if any, so resume reattaches
+    /// it (for best-schedule publication only — hits and warm hints are
+    /// applied once at attach time, never re-derived on resume).
+    pub schedule_store: Option<String>,
     /// The time-vs-latency curve accumulated so far.
     pub history: Vec<CurvePoint>,
     /// Per-task search-state snapshots, in task order.
@@ -290,6 +292,17 @@ fn snapshot_to_json(snap: &TaskSnapshot) -> Json {
                     .collect(),
             ),
         ),
+        (
+            "warm_hints",
+            Json::Arr(
+                snap.warm_hints
+                    .iter()
+                    .map(|(sk, vals)| {
+                        Json::Arr(vec![Json::Num(*sk as f64), values_to_json(vals)])
+                    })
+                    .collect(),
+            ),
+        ),
         ("rounds", Json::Num(snap.rounds as f64)),
     ])
 }
@@ -325,8 +338,13 @@ fn snapshot_from_json(doc: &Json) -> Option<TaskSnapshot> {
             .iter()
             .map(|m| SketchMode::from_label(m.as_str()?))
             .collect::<Option<Vec<SketchMode>>>()?,
+        warm_hints: Vec::new(),
         rounds: doc.get("rounds")?.as_usize()?,
     };
+    for entry in doc.get("warm_hints")?.as_arr()? {
+        let [sk, vals] = entry.as_arr()? else { return None };
+        snap.warm_hints.push((sk.as_usize()?, values_from_json(vals)?));
+    }
     match doc.get("best_schedule")? {
         Json::Null => {}
         node => {
@@ -368,6 +386,13 @@ pub fn checkpoint_to_json(state: &CheckpointState) -> Json {
         (
             "record_log",
             match &state.record_log {
+                Some(p) => Json::Str(p.clone()),
+                None => Json::Null,
+            },
+        ),
+        (
+            "schedule_store",
+            match &state.schedule_store {
                 Some(p) => Json::Str(p.clone()),
                 None => Json::Null,
             },
@@ -418,6 +443,10 @@ pub fn checkpoint_from_json(doc: &Json) -> Option<CheckpointState> {
             Json::Null => None,
             node => Some(node.as_str()?.to_string()),
         },
+        schedule_store: match doc.get("schedule_store")? {
+            Json::Null => None,
+            node => Some(node.as_str()?.to_string()),
+        },
         history,
         tasks: doc
             .get("tasks")?
@@ -458,6 +487,7 @@ mod tests {
             rounds_done: 7,
             checkpoint_every: 2,
             record_log: Some("/tmp/records.jsonl".to_string()),
+            schedule_store: Some("/tmp/schedules.jsonl".to_string()),
             history: vec![
                 CurvePoint { time_s: 1.5, latency_ms: 10.25 },
                 CurvePoint { time_s: 3.0, latency_ms: 1.0 / 3.0 },
@@ -477,6 +507,7 @@ mod tests {
                 fail_streak: vec![0, 3],
                 quarantined: vec![false, true],
                 sketch_modes: vec![SketchMode::ClippedGradient, SketchMode::Evolutionary],
+                warm_hints: vec![(0, vec![2.0, 8.0, 0.1 + 0.2])],
                 rounds: 4,
             }],
         }
@@ -511,8 +542,10 @@ mod tests {
     fn no_record_log_round_trips_as_null() {
         let mut state = sample_state();
         state.record_log = None;
+        state.schedule_store = None;
         let back =
             checkpoint_from_json(&checkpoint_to_json(&state)).expect("decode");
         assert_eq!(back.record_log, None);
+        assert_eq!(back.schedule_store, None);
     }
 }

@@ -1,0 +1,256 @@
+//! End-to-end tests of the global schedule cache: an empty store perturbs
+//! nothing at any thread count, an exact hit serves a tuned schedule
+//! without touching the RNG or the tuning clock, structural warm starts
+//! are deterministic, and kill-and-resume with a store attached stays
+//! byte-identical to the uninterrupted run.
+
+use felix::{extract_subgraphs, pretrained_cost_model, FelixOptions, ModelQuality, Optimizer};
+use felix_graph::models;
+use felix_sim::DeviceConfig;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn tiny_network() -> Vec<felix_graph::Task> {
+    extract_subgraphs(&models::llama_with_config(1, 16, 128, 4, 344, 2))
+}
+
+/// Same architecture as [`tiny_network`] at different extents: every task
+/// shares its structure hash with a [`tiny_network`] task but none shares a
+/// workload key — the structural near-miss (warm start) case.
+fn scaled_network() -> Vec<felix_graph::Task> {
+    extract_subgraphs(&models::llama_with_config(1, 32, 256, 4, 688, 2))
+}
+
+fn quick_options(threads: usize) -> FelixOptions {
+    FelixOptions { n_seeds: 2, n_steps: 15, threads, ..Default::default() }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "felix-cache-{}-{}-{tag}",
+        std::process::id(),
+        n
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn history_bits(opt: &Optimizer) -> Vec<(u64, u64)> {
+    opt.history.iter().map(|p| (p.time_s.to_bits(), p.latency_ms.to_bits())).collect()
+}
+
+fn assert_tasks_bit_identical(a: &Optimizer, b: &Optimizer) {
+    for (ta, tb) in a.tasks().iter().zip(b.tasks()) {
+        assert_eq!(ta.best_latency_ms.to_bits(), tb.best_latency_ms.to_bits());
+        assert_eq!(ta.best_schedule, tb.best_schedule);
+        assert_eq!(ta.measured.len(), tb.measured.len());
+        for (ma, mb) in ta.measured.iter().zip(&tb.measured) {
+            assert_eq!(ma.0, mb.0);
+            assert_eq!(
+                ma.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                mb.1.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(ma.2.to_bits(), mb.2.to_bits());
+        }
+        assert_eq!(ta.failed, tb.failed);
+        assert_eq!(ta.warm_hints, tb.warm_hints);
+    }
+}
+
+#[test]
+fn empty_schedule_store_is_bit_identical_at_every_thread_count() {
+    // Parity bar: attaching a store that starts empty serves no hits and no
+    // warm starts, so the run — curve, clock, RNG consumption, task states,
+    // and stats — must match a storeless run bit for bit.
+    for threads in [1usize, 2, 4] {
+        let device = DeviceConfig::a5000();
+        let model = pretrained_cost_model(&device, ModelQuality::Fast);
+        let mut plain =
+            Optimizer::with_options(tiny_network(), model.clone(), device, quick_options(threads));
+        let n_rounds = plain.tasks().len() + 1;
+        plain.optimize_all(n_rounds, 4);
+
+        let dir = tmp_dir("empty-store");
+        let mut cached =
+            Optimizer::with_options(tiny_network(), model, device, quick_options(threads))
+                .with_schedule_store(dir.join("schedules.jsonl"))
+                .expect("open schedule store");
+        cached.optimize_all(n_rounds, 4);
+
+        assert_eq!(history_bits(&plain), history_bits(&cached), "{threads} threads");
+        assert_eq!(plain.tuning_time_s().to_bits(), cached.tuning_time_s().to_bits());
+        assert_eq!(plain.rng_state(), cached.rng_state(), "{threads} threads");
+        // No synthetic cache stats entry, and every proposer round reports
+        // zero cache activity. (Whole-struct equality would also compare
+        // wall-clock throughput fields, which legitimately differ.)
+        assert_eq!(plain.stats.len(), cached.stats.len());
+        for (sp, sc) in plain.stats.iter().zip(&cached.stats) {
+            assert_eq!(sp.grad_steps, sc.grad_steps);
+            assert_eq!(sp.candidates, sc.candidates);
+            assert_eq!(sp.threads, sc.threads);
+            assert_eq!(sc.schedule_cache_hits, 0);
+            assert_eq!(sc.schedule_cache_warm_starts, 0);
+        }
+        assert_tasks_bit_identical(&plain, &cached);
+        // The run still published its incumbents for future sessions.
+        let cache = cached.schedule_cache().expect("store attached");
+        assert_eq!(cache.store().len(), cached.tasks().len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn exact_hit_serves_schedule_without_rng_or_clock() {
+    // Tune once against a store, then point a *fresh* optimizer at the same
+    // store: every task must come back as an exact hit — incumbent restored
+    // in microseconds with zero measurement budget spent, zero master-RNG
+    // draws, and zero clock advancement — and compile immediately.
+    let device = DeviceConfig::a5000();
+    let model = pretrained_cost_model(&device, ModelQuality::Fast);
+    let dir = tmp_dir("exact-hit");
+    let store = dir.join("schedules.jsonl");
+
+    let mut tuned = Optimizer::with_options(tiny_network(), model.clone(), device, quick_options(1))
+        .with_schedule_store(&store)
+        .expect("open schedule store");
+    let n_tasks = tuned.tasks().len();
+    tuned.optimize_all(n_tasks + 1, 4);
+    assert!(tuned.tasks().iter().all(|t| t.best_schedule.is_some()));
+
+    let baseline = Optimizer::with_options(tiny_network(), model.clone(), device, quick_options(1));
+    let virgin_rng = baseline.rng_state();
+
+    let hit = Optimizer::with_options(tiny_network(), model, device, quick_options(1))
+        .with_schedule_store(&store)
+        .expect("reopen schedule store");
+    assert_eq!(hit.rng_state(), virgin_rng, "cache hits must not draw randomness");
+    assert_eq!(hit.tuning_time_s().to_bits(), 0.0f64.to_bits(), "zero budget spent");
+    assert!(hit.tasks().iter().all(|t| t.best_schedule.is_some()), "every task served");
+    let cache = hit.schedule_cache().expect("store attached");
+    assert_eq!(cache.hits, n_tasks);
+    assert_eq!(cache.warm_starts, 0);
+    // Hits are reported through the stats channel.
+    assert_eq!(hit.stats.len(), 1);
+    assert_eq!(hit.stats[0].schedule_cache_hits, n_tasks);
+    // The served schedules are the tuned run's incumbents, bit for bit.
+    for (ta, tb) in tuned.tasks().iter().zip(hit.tasks()) {
+        assert_eq!(ta.best_latency_ms.to_bits(), tb.best_latency_ms.to_bits());
+        assert_eq!(ta.best_schedule, tb.best_schedule);
+    }
+    let module = hit.compile_with_best_configs();
+    assert_eq!(module.kernels.len(), n_tasks);
+    assert!((module.latency_ms() - tuned.compile_with_best_configs().latency_ms()).abs() < 1e-12);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warm_start_from_structural_near_miss_is_deterministic() {
+    // Populate the store from one network, then tune the same architecture
+    // at different extents: no workload key matches, but the structure
+    // hashes do, so tasks warm-start from the donor's schedule. Two
+    // identical warm runs must agree bit for bit (the hint machinery stays
+    // on deterministic RNG substreams), and the warm run must still
+    // converge to a finite network latency.
+    let device = DeviceConfig::a5000();
+    let model = pretrained_cost_model(&device, ModelQuality::Fast);
+    let dir = tmp_dir("warm");
+    let store = dir.join("schedules.jsonl");
+
+    let mut donor = Optimizer::with_options(tiny_network(), model.clone(), device, quick_options(1))
+        .with_schedule_store(&store)
+        .expect("open schedule store");
+    donor.optimize_all(donor.tasks().len() + 1, 4);
+
+    // Each run gets its own copy of the donor store: a warm run publishes
+    // its own incumbents back, which would turn the second run's near-misses
+    // into exact hits.
+    let run = |tag: &str| {
+        let copy = dir.join(format!("store-{tag}.jsonl"));
+        std::fs::copy(&store, &copy).expect("copy donor store");
+        let mut opt = Optimizer::with_options(
+            scaled_network(),
+            pretrained_cost_model(&DeviceConfig::a5000(), ModelQuality::Fast),
+            DeviceConfig::a5000(),
+            quick_options(1),
+        )
+        .with_schedule_store(&copy)
+        .expect("open schedule store");
+        let warm = opt.schedule_cache().expect("attached").warm_starts;
+        let hits = opt.schedule_cache().expect("attached").hits;
+        let n = opt.tasks().len();
+        opt.optimize_all(n + 1, 4);
+        (opt, warm, hits)
+    };
+    let (a, warm_a, hits_a) = run("a");
+    let (b, warm_b, _) = run("b");
+    assert_eq!(hits_a, 0, "different extents must not be exact hits");
+    assert!(warm_a > 0, "structural near-miss must warm-start");
+    assert_eq!(warm_a, warm_b);
+    assert_eq!(history_bits(&a), history_bits(&b));
+    assert_eq!(a.rng_state(), b.rng_state());
+    assert_tasks_bit_identical(&a, &b);
+    assert!(felix_ansor::network_latency(a.tasks()).is_finite());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_and_resume_with_store_attached_stays_byte_identical() {
+    // The store composes with checkpointing: checkpoint every round, kill
+    // halfway, resume (which reattaches the store for publishing), finish.
+    // Curve and task states must match an uninterrupted run that kept its
+    // own (equally empty at start) store attached throughout.
+    let device = DeviceConfig::a5000();
+    let model = pretrained_cost_model(&device, ModelQuality::Fast);
+    let base_dir = tmp_dir("base");
+    let mut base = Optimizer::with_options(tiny_network(), model.clone(), device, quick_options(2))
+        .with_schedule_store(base_dir.join("schedules.jsonl"))
+        .expect("open store");
+    let n_rounds = base.tasks().len() + 2;
+    base.optimize_all(n_rounds, 4);
+
+    let dir = tmp_dir("resume");
+    let m = n_rounds / 2;
+    {
+        let mut first =
+            Optimizer::with_options(tiny_network(), model.clone(), device, quick_options(2))
+                .with_schedule_store(dir.join("schedules.jsonl"))
+                .expect("open store")
+                .with_checkpointing(&dir, 1);
+        first.optimize_all(m, 4);
+        // Dropped here: the "crash".
+    }
+    let mut resumed =
+        Optimizer::resume_from_checkpoint(tiny_network(), device, quick_options(2), &dir)
+            .expect("resume from checkpoint");
+    assert!(resumed.schedule_cache().is_some(), "store reattached from checkpoint");
+    resumed.optimize_all(n_rounds - m, 4);
+
+    assert_eq!(history_bits(&resumed), history_bits(&base));
+    assert_eq!(resumed.tuning_time_s().to_bits(), base.tuning_time_s().to_bits());
+    assert_tasks_bit_identical(&base, &resumed);
+    // Both stores converge on the same incumbents. (The files themselves
+    // differ in append history: the checkpointed run publishes on every
+    // round boundary, the uninterrupted one only at the end.)
+    let entries = |opt: &Optimizer| {
+        opt.schedule_cache()
+            .expect("store attached")
+            .store()
+            .entries()
+            .map(|e| {
+                (
+                    e.task_key,
+                    e.sketch,
+                    e.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    e.latency_ms.to_bits(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let base_entries = entries(&base);
+    assert_eq!(base_entries.len(), base.tasks().len());
+    assert_eq!(base_entries, entries(&resumed));
+    std::fs::remove_dir_all(&base_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -9,11 +9,12 @@
 
 use crate::sampling::random_schedule;
 use crate::{latency_to_score, log_transform};
-use felix_features::extract_features;
+use felix_features::{extract_features, FeatureSet};
 use felix_graph::lower::lower_subgraph;
 use felix_graph::{EwKind, Op, Subgraph};
 use felix_sim::vendor::hardware_params;
 use felix_sim::{DeviceConfig, Simulator};
+use felix_tir::Program;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -24,6 +25,25 @@ pub struct Sample {
     pub logfeats: Vec<f64>,
     /// Target `−ln(latency_ms)`.
     pub score: f64,
+}
+
+/// Recomputes the training sample of one measured schedule: evaluate the
+/// closed-form features at `values`, log-transform them, and convert the
+/// latency to the score target. This is the **single** ingestion routine
+/// shared by live measurement, checkpoint restore, record-log replay,
+/// transfer-dataset building, and synthetic dataset generation — features
+/// are pure functions of the schedule values, so every caller reproduces
+/// the same sample bit for bit from the same `(values, latency)` pair.
+pub fn ingest_sample(
+    program: &Program,
+    features: &FeatureSet,
+    values: &[f64],
+    latency_ms: f64,
+) -> Sample {
+    Sample {
+        logfeats: log_transform(&features.eval(program, values)),
+        score: latency_to_score(latency_ms),
+    }
 }
 
 /// A labelled training corpus for one device.
@@ -152,12 +172,8 @@ pub fn generate_dataset(
             let fs = extract_features(&mut p);
             for _ in 0..schedules_per_workload {
                 let vals = random_schedule(&p, &mut rng, 64);
-                let raw = fs.eval(&p, &vals);
                 let latency = sim.measure(&p, &fs, &vals, &mut rng);
-                samples.push(Sample {
-                    logfeats: log_transform(&raw),
-                    score: latency_to_score(latency),
-                });
+                samples.push(ingest_sample(&p, &fs, &vals, latency));
             }
         }
     }

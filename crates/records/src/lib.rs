@@ -19,8 +19,10 @@
 //! bit-exactly (the foundation of the byte-identical resume guarantee).
 
 pub mod json;
+pub mod store;
 
 pub use json::Json;
+pub use store::{ScheduleStore, StoredSchedule, SCHEDULE_STORE_VERSION};
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};

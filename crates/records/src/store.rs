@@ -1,0 +1,482 @@
+//! The persistent best-schedule store.
+//!
+//! Where [`crate::RecordLog`] remembers every measurement, the
+//! [`ScheduleStore`] remembers only the *answer*: the best known schedule
+//! per task, keyed by the same FNV-1a [`crate::task_key`] the record log
+//! uses. A tuner that finds its task in the store can serve the cached
+//! schedule in microseconds instead of re-tuning; a tuner that finds a
+//! *structurally identical* task at different extents (matched by
+//! [`StoredSchedule::structure_hash`]) can warm-start its descent from the
+//! cached optimum's values.
+//!
+//! On disk the store is an append-only JSONL improvement log with the same
+//! durability contract as the record log: every insert is flushed, only
+//! newline-terminated lines count on read, and a torn tail is skipped
+//! rather than rejected. Replaying the improvement lines keeps the best
+//! entry per key, so concurrent histories merge to the same state
+//! regardless of interleaving. [`ScheduleStore::compact`] rewrites the file
+//! to one line per key through the atomic tmp+fsync+rename codec, in
+//! deterministic (ascending task-key) order.
+//!
+//! All floats — schedule values and the latency incumbent — are encoded as
+//! 16-hex-digit bit patterns ([`Json::f64_bits`]), so a schedule read back
+//! from the store is bit-identical to the one the tuner measured. That is
+//! what lets a cache hit feed directly into the bit-reproducible search
+//! state without perturbing it.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Version of the schedule-store wire format. Bumped whenever a field is
+/// added, removed, or re-encoded; readers skip lines from a newer version
+/// instead of guessing at their meaning.
+pub const SCHEDULE_STORE_VERSION: usize = 1;
+
+/// One cached optimum: the best known schedule for a task, plus the
+/// identity needed to validate it against a live search task before use.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredSchedule {
+    /// Canonical task identity: [`crate::task_key`] of workload key + device.
+    pub task_key: u64,
+    /// The subgraph's stable dedup key (display/debugging; matching uses
+    /// `task_key`).
+    pub workload_key: String,
+    /// Device the schedule was tuned for.
+    pub device: String,
+    /// Hash of the task's sketch *structure* (sketch names and variable
+    /// counts, not extents). Two tasks that share it are the same operator
+    /// shape at different sizes, so one's optimum is a sensible warm start
+    /// for the other. Collisions are harmless: cached values are always
+    /// re-validated against the live task's constraints before use.
+    pub structure_hash: u64,
+    /// Sketch index within the task.
+    pub sketch: usize,
+    /// Sketch name, validated on use so entries from a stale sketch
+    /// generator are ignored instead of corrupting the search state.
+    pub sketch_name: String,
+    /// The schedule-variable assignment (bit-exact).
+    pub values: Vec<f64>,
+    /// The measured latency of this schedule in milliseconds (bit-exact).
+    pub latency_ms: f64,
+}
+
+impl StoredSchedule {
+    /// Serializes the entry as a single JSON line (no newline).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kind", Json::Str("schedule".to_string())),
+            ("v", Json::Num(SCHEDULE_STORE_VERSION as f64)),
+            ("task", Json::u64_hex(self.task_key)),
+            ("workload", Json::Str(self.workload_key.clone())),
+            ("device", Json::Str(self.device.clone())),
+            ("structure", Json::u64_hex(self.structure_hash)),
+            ("sketch", Json::Num(self.sketch as f64)),
+            ("sketch_name", Json::Str(self.sketch_name.clone())),
+            (
+                "values",
+                Json::Arr(self.values.iter().map(|&v| Json::f64_bits(v)).collect()),
+            ),
+            ("latency_ms", Json::f64_bits(self.latency_ms)),
+        ])
+    }
+
+    /// Decodes an entry parsed from one store line. Returns `None` for
+    /// non-schedule lines and for lines written by a newer format version.
+    pub fn from_json(doc: &Json) -> Option<StoredSchedule> {
+        if doc.get("kind")?.as_str()? != "schedule" {
+            return None;
+        }
+        if doc.get("v")?.as_usize()? > SCHEDULE_STORE_VERSION {
+            return None;
+        }
+        Some(StoredSchedule {
+            task_key: doc.get("task")?.as_u64_hex()?,
+            workload_key: doc.get("workload")?.as_str()?.to_string(),
+            device: doc.get("device")?.as_str()?.to_string(),
+            structure_hash: doc.get("structure")?.as_u64_hex()?,
+            sketch: doc.get("sketch")?.as_usize()?,
+            sketch_name: doc.get("sketch_name")?.as_str()?.to_string(),
+            values: doc
+                .get("values")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_f64_bits)
+                .collect::<Option<Vec<f64>>>()?,
+            latency_ms: doc.get("latency_ms")?.as_f64_bits()?,
+        })
+    }
+}
+
+/// A persistent map from task key to best known schedule.
+///
+/// Inserts append one improvement line and flush it (crash loses at most
+/// the line being written); reads replay the intact prefix and keep the
+/// best entry per key. The in-memory index is a `BTreeMap`, so every
+/// iteration order exposed by the store is deterministic.
+#[derive(Debug)]
+pub struct ScheduleStore {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    entries: BTreeMap<u64, StoredSchedule>,
+}
+
+impl ScheduleStore {
+    /// Opens (creating if needed) a store at `path`, replaying any existing
+    /// improvement lines. Torn, corrupt, or newer-version lines are skipped
+    /// exactly like in [`crate::read_all_records`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from reading or opening the file.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<ScheduleStore> {
+        let path = path.as_ref().to_path_buf();
+        let mut entries = BTreeMap::new();
+        let mut bytes = Vec::new();
+        match File::open(&path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut bytes)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        // Only newline-terminated lines count: a line missing its
+        // terminator is by definition the torn tail of an interrupted
+        // append.
+        for line in bytes.split_inclusive(|&b| b == b'\n') {
+            let Some(line) = line.strip_suffix(b"\n") else { break };
+            let Ok(text) = std::str::from_utf8(line) else { continue };
+            if text.trim().is_empty() {
+                continue;
+            }
+            let Ok(doc) = Json::parse(text) else { continue };
+            let Some(entry) = StoredSchedule::from_json(&doc) else { continue };
+            merge_entry(&mut entries, entry);
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(ScheduleStore { path, writer: BufWriter::new(file), entries })
+    }
+
+    /// The store's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of distinct tasks with a cached schedule.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The best known schedule for a task, if any.
+    pub fn get(&self, task_key: u64) -> Option<&StoredSchedule> {
+        self.entries.get(&task_key)
+    }
+
+    /// All entries in ascending task-key order.
+    pub fn entries(&self) -> impl Iterator<Item = &StoredSchedule> {
+        self.entries.values()
+    }
+
+    /// The lowest-latency entry on `device` whose structure hash matches —
+    /// the warm-start donor for a task that misses exactly but shares its
+    /// sketch structure with a cached one. `exclude_task_key` keeps a task
+    /// from donating to itself. Ties break toward the smaller task key
+    /// (deterministic via the `BTreeMap` iteration order).
+    pub fn best_for_structure(
+        &self,
+        structure_hash: u64,
+        device: &str,
+        exclude_task_key: u64,
+    ) -> Option<&StoredSchedule> {
+        let mut best: Option<&StoredSchedule> = None;
+        for entry in self.entries.values() {
+            if entry.structure_hash != structure_hash
+                || entry.device != device
+                || entry.task_key == exclude_task_key
+                || !entry.latency_ms.is_finite()
+            {
+                continue;
+            }
+            if best.is_none_or(|b| entry.latency_ms < b.latency_ms) {
+                best = Some(entry);
+            }
+        }
+        best
+    }
+
+    /// Records `entry` if it strictly improves on the stored schedule for
+    /// its task (or the task is new). An equal-or-worse entry is a no-op
+    /// that leaves the file byte-identical; a non-finite latency is always
+    /// rejected. Returns whether the entry was written.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from appending.
+    pub fn insert(&mut self, entry: StoredSchedule) -> std::io::Result<bool> {
+        if !entry.latency_ms.is_finite() {
+            return Ok(false);
+        }
+        if let Some(existing) = self.entries.get(&entry.task_key) {
+            if existing.latency_ms <= entry.latency_ms {
+                return Ok(false);
+            }
+        }
+        let mut line = entry.to_json().write();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        self.entries.insert(entry.task_key, entry);
+        Ok(true)
+    }
+
+    /// Rewrites the file to exactly one line per task, in ascending
+    /// task-key order, through the atomic tmp+fsync+rename codec — a
+    /// reader concurrent with a compaction sees either the old improvement
+    /// log or the compacted one, never a torn mix. The in-memory state is
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing, syncing, renaming, or reopening
+    /// the append handle.
+    pub fn compact(&mut self) -> std::io::Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            for entry in self.entries.values() {
+                let mut line = entry.to_json().write();
+                line.push('\n');
+                f.write_all(line.as_bytes())?;
+            }
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // The old append handle still points at the pre-rename inode;
+        // reopen so future inserts land in the compacted file.
+        let file = OpenOptions::new().create(true).append(true).open(&self.path)?;
+        self.writer = BufWriter::new(file);
+        Ok(())
+    }
+}
+
+/// Better-only merge: replaying improvement lines in any order converges
+/// to the same per-key minimum.
+fn merge_entry(entries: &mut BTreeMap<u64, StoredSchedule>, entry: StoredSchedule) {
+    if !entry.latency_ms.is_finite() {
+        return;
+    }
+    match entries.get(&entry.task_key) {
+        Some(existing) if existing.latency_ms <= entry.latency_ms => {}
+        _ => {
+            entries.insert(entry.task_key, entry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task_key;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "felix-store-{tag}-{}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn sample_entry(i: usize) -> StoredSchedule {
+        let workload = format!("dense[{}]", 256 << i);
+        StoredSchedule {
+            task_key: task_key(&workload, "RTX A5000"),
+            workload_key: workload,
+            device: "RTX A5000".to_string(),
+            structure_hash: 0xABCD_0000 + (i as u64 % 2),
+            sketch: i % 2,
+            sketch_name: "multi-level-tiling".to_string(),
+            values: vec![2.0, 16.0, 4.0 + i as f64, 0.1 + 0.2],
+            latency_ms: 1.25 + i as f64 * 0.1,
+        }
+    }
+
+    #[test]
+    fn round_trips_awkward_floats_bit_exactly() {
+        let path = tmp_path("bits");
+        let mut store = ScheduleStore::open(&path).expect("open");
+        let mut entry = sample_entry(0);
+        entry.values = vec![
+            0.1 + 0.2,
+            1.234_567_890_123_456_7 * (1.0 + 1e-15),
+            -0.0,
+            f64::MIN_POSITIVE,
+            2.225_073_858_507_201e-308,
+            std::f64::consts::PI,
+        ];
+        entry.latency_ms = 1.0 / 3.0;
+        assert!(store.insert(entry.clone()).expect("insert"));
+        drop(store);
+        let store = ScheduleStore::open(&path).expect("reopen");
+        let back = store.get(entry.task_key).expect("entry");
+        assert_eq!(back, &entry);
+        for (a, b) in back.values.iter().zip(&entry.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(back.latency_ms.to_bits(), entry.latency_ms.to_bits());
+        // The wire format stores every float as a 16-hex-digit bit pattern,
+        // never as a decimal number.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let doc = Json::parse(text.trim_end()).expect("parse");
+        for v in doc.get("values").unwrap().as_arr().unwrap() {
+            assert!(matches!(v, Json::Str(s) if s.len() == 16), "{v:?}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_at_every_byte_offset_of_final_entry_recovers_prefix() {
+        let path = tmp_path("trunc");
+        let mut store = ScheduleStore::open(&path).expect("open");
+        for i in 0..3 {
+            assert!(store.insert(sample_entry(i)).expect("insert"));
+        }
+        drop(store);
+        let full = std::fs::read(&path).expect("read bytes");
+        let last_line_start = full[..full.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1);
+        let mut prefix: Vec<StoredSchedule> = (0..2).map(sample_entry).collect();
+        prefix.sort_by_key(|e| e.task_key); // entries() iterates in key order
+        for cut in last_line_start..full.len() {
+            std::fs::write(&path, &full[..cut]).expect("truncate");
+            let store = ScheduleStore::open(&path).expect("open truncated");
+            assert_eq!(
+                store.entries().cloned().collect::<Vec<_>>(),
+                prefix,
+                "cut at byte {cut}/{}",
+                full.len()
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn equal_or_worse_reinsert_leaves_file_byte_identical() {
+        let path = tmp_path("idem");
+        let mut store = ScheduleStore::open(&path).expect("open");
+        let entry = sample_entry(0);
+        assert!(store.insert(entry.clone()).expect("insert"));
+        let before = std::fs::read(&path).expect("read");
+        // Bit-identical re-insert: no-op.
+        assert!(!store.insert(entry.clone()).expect("reinsert"));
+        // Strictly worse: no-op.
+        let mut worse = entry.clone();
+        worse.latency_ms = entry.latency_ms + 0.5;
+        assert!(!store.insert(worse).expect("worse"));
+        // Non-finite: always rejected.
+        let mut bad = entry.clone();
+        bad.latency_ms = f64::NAN;
+        assert!(!store.insert(bad).expect("nan"));
+        assert_eq!(std::fs::read(&path).expect("read"), before);
+        assert_eq!(store.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn improvements_append_and_replay_keeps_best() {
+        let path = tmp_path("improve");
+        let mut store = ScheduleStore::open(&path).expect("open");
+        let mut entry = sample_entry(0);
+        entry.latency_ms = 2.0;
+        assert!(store.insert(entry.clone()).expect("insert"));
+        entry.latency_ms = 1.5;
+        entry.values[0] = 4.0;
+        assert!(store.insert(entry.clone()).expect("improve"));
+        drop(store);
+        // Both lines are on disk; replay keeps the improvement.
+        let lines = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(lines.lines().count(), 2);
+        let store = ScheduleStore::open(&path).expect("reopen");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(entry.task_key), Some(&entry));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_rewrites_one_line_per_task_atomically() {
+        let path = tmp_path("compact");
+        let mut store = ScheduleStore::open(&path).expect("open");
+        for latency in [3.0, 2.0, 1.0] {
+            let mut entry = sample_entry(0);
+            entry.latency_ms = latency;
+            assert!(store.insert(entry).expect("insert"));
+        }
+        assert!(store.insert(sample_entry(1)).expect("insert"));
+        store.compact().expect("compact");
+        assert!(!path.with_extension("tmp").exists(), "tmp renamed away");
+        let lines = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(lines.lines().count(), 2, "one line per task");
+        // The append handle follows the compacted file.
+        let mut improved = sample_entry(1);
+        improved.latency_ms -= 1.0;
+        assert!(store.insert(improved.clone()).expect("insert"));
+        drop(store);
+        let store = ScheduleStore::open(&path).expect("reopen");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(improved.task_key), Some(&improved));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn structure_lookup_picks_best_match_excluding_self() {
+        let path = tmp_path("structure");
+        let mut store = ScheduleStore::open(&path).expect("open");
+        // Entries 0 and 2 share structure hash (i % 2 == 0); entry 2 is
+        // slower than entry 0.
+        for i in 0..4 {
+            assert!(store.insert(sample_entry(i)).expect("insert"));
+        }
+        let e0 = sample_entry(0);
+        let e2 = sample_entry(2);
+        let hit = store
+            .best_for_structure(e0.structure_hash, "RTX A5000", e2.task_key)
+            .expect("donor");
+        assert_eq!(hit.task_key, e0.task_key);
+        // Excluding the best leaves the runner-up.
+        let hit = store
+            .best_for_structure(e0.structure_hash, "RTX A5000", e0.task_key)
+            .expect("donor");
+        assert_eq!(hit.task_key, e2.task_key);
+        // Wrong device: no donor.
+        assert!(store
+            .best_for_structure(e0.structure_hash, "A10G", 0)
+            .is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn newer_version_lines_are_skipped() {
+        let path = tmp_path("future");
+        let mut store = ScheduleStore::open(&path).expect("open");
+        assert!(store.insert(sample_entry(0)).expect("insert"));
+        drop(store);
+        let mut doc = sample_entry(1).to_json();
+        let Json::Obj(fields) = &mut doc else { panic!("obj") };
+        fields[1].1 = Json::Num((SCHEDULE_STORE_VERSION + 1) as f64);
+        let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+        writeln!(f, "{}", doc.write()).expect("write");
+        drop(f);
+        let store = ScheduleStore::open(&path).expect("reopen");
+        assert_eq!(store.entries().cloned().collect::<Vec<_>>(), vec![sample_entry(0)]);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -57,3 +57,16 @@ cargo test -q -p felix --test supervision nan_cost_model_run_degrades_and_comple
 # to the pool-walking objective oracle (no timing claims in CI). The same
 # binary re-checks supervision on/off candidate parity on the healthy path.
 TUNER_BENCH_SMOKE=1 FELIX_FAST=1 cargo run -q --release -p felix-bench --bin tuner_bench
+
+# Schedule-cache smoke: tune a network against a store, kill the run, and
+# re-tune the same network against the same store — the second run's
+# time-to-first-schedule must be an exact cache hit served with zero
+# measurement budget and zero RNG draws (asserted by the test and by the
+# bench binary). Empty-store parity (1/2/4 threads), warm-start determinism,
+# and kill-and-resume with a store attached run alongside; the bench binary
+# re-checks the hit/warm/cold split end-to-end and writes BENCH_cache.json.
+cargo test -q -p felix --test cache exact_hit_serves_schedule_without_rng_or_clock
+cargo test -q -p felix --test cache empty_schedule_store_is_bit_identical_at_every_thread_count
+cargo test -q -p felix --test cache warm_start_from_structural_near_miss_is_deterministic
+cargo test -q -p felix --test cache kill_and_resume_with_store_attached_stays_byte_identical
+TUNER_BENCH_SMOKE=1 FELIX_FAST=1 cargo run -q --release -p felix-bench --bin cache_bench

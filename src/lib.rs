@@ -11,6 +11,8 @@
 //! - [`features`]: the 82-dimensional program feature extractor
 //! - [`sim`]: GPU latency simulator, measurement clock, vendor baselines
 //! - [`cost`]: MLP cost model, Adam, dataset generation
+//! - [`records`]: durable tuning records, checkpoints, and the global
+//!   schedule store
 //! - [`ansor`]: evolutionary-search baseline
 //! - [`felix`]: the gradient-descent tuner itself
 
@@ -21,5 +23,6 @@ pub use felix_egraph as egraph;
 pub use felix_expr as expr;
 pub use felix_features as features;
 pub use felix_graph as graph;
+pub use felix_records as records;
 pub use felix_sim as sim;
 pub use felix_tir as tir;
