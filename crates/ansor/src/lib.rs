@@ -587,6 +587,10 @@ pub struct TunerStats {
     pub schedule_cache_hits: usize,
     /// Tasks warm-started from a structurally matching store entry.
     pub schedule_cache_warm_starts: usize,
+    /// Store entries skipped because they were written by a different
+    /// sketch-generator version (stale fingerprint). Zero for every
+    /// proposer round; reported by the cache layer.
+    pub schedule_cache_stale: usize,
 }
 
 impl TunerStats {
@@ -623,10 +627,15 @@ impl TunerStats {
                 self.deadline_overrun_s,
             ));
         }
-        if self.schedule_cache_hits > 0 || self.schedule_cache_warm_starts > 0 {
+        if self.schedule_cache_hits > 0
+            || self.schedule_cache_warm_starts > 0
+            || self.schedule_cache_stale > 0
+        {
             line.push_str(&format!(
-                " sched-cache[hit {} warm {}]",
-                self.schedule_cache_hits, self.schedule_cache_warm_starts,
+                " sched-cache[hit {} warm {} stale {}]",
+                self.schedule_cache_hits,
+                self.schedule_cache_warm_starts,
+                self.schedule_cache_stale,
             ));
         }
         line
@@ -991,6 +1000,41 @@ pub fn network_latency(tasks: &[SearchTask]) -> f64 {
 /// below every healthy task.
 pub const SEED_RETRY_ROUNDS: usize = 3;
 
+/// One task's marginal-benefit score in the gradient-allocation scheduler:
+/// its weighted latency headroom, decayed by rounds already spent and by
+/// the fraction of measurement attempts it wastes on faults. Tasks still
+/// without any measurement score below every healthy task (healthy scores
+/// are positive), ordered by fewest rounds first.
+///
+/// This is the exact scoring expression [`select_next_task`] applies (same
+/// floating-point operations, same order), extracted so higher layers —
+/// the serving tier's cross-tenant job ranking — can rank *groups* of
+/// tasks by the same yardstick the in-process scheduler uses.
+pub fn task_priority(t: &SearchTask) -> f64 {
+    if t.best_latency_ms.is_infinite() {
+        -(t.rounds as f64)
+    } else {
+        let wasted = t.fault_stats.wasted_attempts() as f64;
+        let fault_penalty = 1.0 + wasted / (t.measured.len() as f64 + 1.0);
+        t.weight as f64 * t.best_latency_ms / (t.rounds as f64).sqrt() / fault_penalty
+    }
+}
+
+/// The marginal benefit of granting one more round to a whole *job* (a set
+/// of tasks tuned together): infinite while any task is still unseeded or
+/// inside its bounded [`SEED_RETRY_ROUNDS`] retries — mirroring the
+/// seeding precedence of [`select_next_task`] — and otherwise the best
+/// [`task_priority`] across the job's tasks (the next round goes to the
+/// highest-priority task, so that task's score *is* the round's payoff).
+pub fn job_priority(tasks: &[SearchTask]) -> f64 {
+    if tasks.iter().any(|t| {
+        t.rounds == 0 || (t.best_latency_ms.is_infinite() && t.rounds < SEED_RETRY_ROUNDS)
+    }) {
+        return f64::INFINITY;
+    }
+    tasks.iter().map(task_priority).fold(f64::NEG_INFINITY, f64::max)
+}
+
 /// Ansor's task scheduler (simplified gradient allocation): after seeding
 /// every task once, repeatedly picks the task with the largest weighted
 /// latency headroom.
@@ -1010,24 +1054,13 @@ pub fn select_next_task(tasks: &[SearchTask]) -> usize {
     {
         return i;
     }
-    // Then: the task with the biggest expected payoff, weighted by both its
-    // share of network latency and how stale its incumbent is. Tasks that
-    // burn their measurement budget on faults are deprioritized in
-    // proportion to the fraction of attempts they waste — a fault-free task
-    // divides by exactly 1.0, keeping the schedule byte-identical to the
-    // fault-unaware scheduler. Tasks still without any measurement after
-    // their retry rounds score below every healthy task (healthy scores are
-    // positive) and round-robin among themselves by fewest rounds first.
+    // Then: the task with the biggest expected payoff — see
+    // [`task_priority`]. A fault-free task divides by exactly 1.0, keeping
+    // the schedule byte-identical to the fault-unaware scheduler.
     let mut best = 0;
     let mut best_score = f64::NEG_INFINITY;
     for (i, t) in tasks.iter().enumerate() {
-        let score = if t.best_latency_ms.is_infinite() {
-            -(t.rounds as f64)
-        } else {
-            let wasted = t.fault_stats.wasted_attempts() as f64;
-            let fault_penalty = 1.0 + wasted / (t.measured.len() as f64 + 1.0);
-            t.weight as f64 * t.best_latency_ms / (t.rounds as f64).sqrt() / fault_penalty
-        };
+        let score = task_priority(t);
         if score > best_score {
             best_score = score;
             best = i;

@@ -190,25 +190,47 @@ impl Optimizer {
     ///   the cached optimum while leaving every RNG substream untouched;
     /// - tuning rounds publish each task's incumbent back to the store.
     ///
+    /// Entries written by a different sketch-generator version (a stale
+    /// fingerprint — see `felix_tir::sketch::generator_hash`) are rejected
+    /// as clean misses and counted, never served.
+    ///
     /// Cache activity is reported as one [`TunerStats`] entry (with
-    /// `schedule_cache_hits` / `schedule_cache_warm_starts` set) pushed
-    /// onto [`Optimizer::stats`] — only when the store actually served
-    /// something, so an empty store leaves the run byte-identical to a
-    /// storeless one.
+    /// `schedule_cache_hits` / `schedule_cache_warm_starts` /
+    /// `schedule_cache_stale` set) pushed onto [`Optimizer::stats`] — only
+    /// when the store actually served or rejected something, so an empty
+    /// store leaves the run byte-identical to a storeless one.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from opening or replaying the store.
-    pub fn with_schedule_store(mut self, path: impl AsRef<Path>) -> std::io::Result<Self> {
-        let mut cache = ScheduleCache::open(path)?;
+    pub fn with_schedule_store(self, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        self.with_schedule_store_namespaced(path, "")
+    }
+
+    /// [`Optimizer::with_schedule_store`] scoped to tenant namespace `ns`
+    /// (empty = the unscoped global namespace): lookups and publishes are
+    /// keyed under the namespace, so tenants sharing a store file can
+    /// neither hit nor warm-start from each other's schedules. The serving
+    /// tier uses this for per-tenant isolation.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from opening or replaying the store.
+    pub fn with_schedule_store_namespaced(
+        mut self,
+        path: impl AsRef<Path>,
+        ns: &str,
+    ) -> std::io::Result<Self> {
+        let mut cache = ScheduleCache::open(path)?.with_namespace(ns);
         let device = self.sim.device.name;
         for task in &mut self.tasks {
             cache.apply(task, device);
         }
-        if cache.hits + cache.warm_starts > 0 {
+        if cache.hits + cache.warm_starts + cache.stale > 0 {
             self.stats.push(TunerStats {
                 schedule_cache_hits: cache.hits,
                 schedule_cache_warm_starts: cache.warm_starts,
+                schedule_cache_stale: cache.stale,
                 ..Default::default()
             });
         }
@@ -258,6 +280,10 @@ impl Optimizer {
                 .schedule_store
                 .as_ref()
                 .map(|s| s.path().display().to_string()),
+            schedule_ns: self
+                .schedule_store
+                .as_ref()
+                .and_then(|s| s.namespace().map(str::to_string)),
             history: self.history.clone(),
             tasks: self.tasks.iter().map(SearchTask::snapshot).collect(),
         };
@@ -324,7 +350,9 @@ impl Optimizer {
             // Reattached for publishing only: every task carries restored
             // state, so `apply` would skip it anyway, and warm hints travel
             // in the task snapshots.
-            opt.schedule_store = Some(ScheduleCache::open(store_path)?);
+            let cache = ScheduleCache::open(store_path)?
+                .with_namespace(state.schedule_ns.as_deref().unwrap_or(""));
+            opt.schedule_store = Some(cache);
         }
         Ok(opt)
     }
@@ -418,6 +446,19 @@ impl Optimizer {
             cache.publish(&self.tasks, self.sim.device.name);
         }
         res
+    }
+
+    /// Runs exactly one tuning round — the building block for an external
+    /// job loop (the serving tier's worker shards), which interleaves
+    /// rounds of *different* optimizers under its own scheduling policy.
+    ///
+    /// Identical to `optimize_all(1, measure_per_round)`: the per-round
+    /// loop evolves the search state exactly as one longer call would
+    /// (the scheduler and round pipeline carry no cross-call state), so
+    /// `n` ticks ≡ `optimize_all(n, m)` byte for byte, however the ticks
+    /// are interleaved with other optimizers' work.
+    pub fn tick(&mut self, measure_per_round: usize) -> NetworkTuneResult {
+        self.optimize_all(1, measure_per_round)
     }
 
     fn run_rounds(&mut self, opts: &TuneOptions, n_rounds: usize) -> NetworkTuneResult {

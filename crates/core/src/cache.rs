@@ -27,8 +27,13 @@
 
 use felix_ansor::SearchTask;
 use felix_records::{task_key, ScheduleStore, StoredSchedule};
-use felix_tir::sketch::round_to_valid;
+use felix_tir::sketch::{generator_hash, round_to_valid};
 use std::path::Path;
+
+/// Separator between a tenant namespace and the workload key in stored
+/// entries: the ASCII unit separator, which no workload key contains, so
+/// scoped and unscoped keys can never collide.
+const NS_SEP: char = '\u{1f}';
 
 /// Hash of a task's sketch *structure*: the sketch names and schedule
 /// variable counts, in order — deliberately excluding loop extents, so two
@@ -68,10 +73,18 @@ pub enum CacheOutcome {
 #[derive(Debug)]
 pub struct ScheduleCache {
     store: ScheduleStore,
+    /// Tenant namespace scoping every lookup and publish (see
+    /// [`ScheduleCache::with_namespace`]); `None` = the unscoped global
+    /// namespace used by single-tenant runs.
+    namespace: Option<String>,
     /// Tasks served an exact cached schedule at attach time.
     pub hits: usize,
     /// Tasks seeded with a structural warm-start hint at attach time.
     pub warm_starts: usize,
+    /// Tasks whose exact or donor entry was rejected because it was
+    /// written by a different sketch-generator version — a clean miss
+    /// instead of a silently degraded schedule.
+    pub stale: usize,
 }
 
 impl ScheduleCache {
@@ -81,7 +94,28 @@ impl ScheduleCache {
     ///
     /// Returns any I/O error from opening the store.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<ScheduleCache> {
-        Ok(ScheduleCache { store: ScheduleStore::open(path)?, hits: 0, warm_starts: 0 })
+        Ok(ScheduleCache {
+            store: ScheduleStore::open(path)?,
+            namespace: None,
+            hits: 0,
+            warm_starts: 0,
+            stale: 0,
+        })
+    }
+
+    /// Scopes every lookup and publish to tenant namespace `ns`: entries
+    /// are keyed under `"{ns}\u{1f}{workload_key}"`, so tenants sharing a
+    /// store file can neither hit nor warm-start from each other's
+    /// schedules. An empty `ns` means the unscoped global namespace.
+    #[must_use]
+    pub fn with_namespace(mut self, ns: &str) -> ScheduleCache {
+        self.namespace = if ns.is_empty() { None } else { Some(ns.to_string()) };
+        self
+    }
+
+    /// The tenant namespace, if any.
+    pub fn namespace(&self) -> Option<&str> {
+        self.namespace.as_deref()
     }
 
     /// The store's path.
@@ -92,6 +126,25 @@ impl ScheduleCache {
     /// The underlying store.
     pub fn store(&self) -> &ScheduleStore {
         &self.store
+    }
+
+    /// The stored (possibly namespace-scoped) workload key for a task.
+    fn scoped(&self, workload_key: &str) -> String {
+        match &self.namespace {
+            Some(ns) => format!("{ns}{NS_SEP}{workload_key}"),
+            None => workload_key.to_string(),
+        }
+    }
+
+    /// Whether a stored entry belongs to this cache's namespace.
+    fn in_namespace(&self, entry: &StoredSchedule) -> bool {
+        match &self.namespace {
+            Some(ns) => entry
+                .workload_key
+                .strip_prefix(ns.as_str())
+                .is_some_and(|rest| rest.starts_with(NS_SEP)),
+            None => !entry.workload_key.contains(NS_SEP),
+        }
     }
 
     /// Applies the store to one *fresh* task (no measurements yet): exact
@@ -106,19 +159,60 @@ impl ScheduleCache {
         if !task.measured.is_empty() || !task.failed.is_empty() {
             return CacheOutcome::Miss;
         }
-        let key = task_key(&task.workload_key, device_name);
+        let live_gen = generator_hash();
+        let scoped = self.scoped(&task.workload_key);
+        let key = task_key(&scoped, device_name);
+        // At most one stale increment per task: the counter means "this
+        // task missed cleanly because of a generator mismatch", however
+        // many individual entries were rejected along the way.
+        let mut saw_stale = false;
         if let Some(entry) = self.store.get(key) {
-            if entry.workload_key == task.workload_key
+            if entry.workload_key == scoped
                 && entry.device == device_name
                 && valid_for(task, entry.sketch, &entry.sketch_name, &entry.values)
             {
-                task.record(entry.sketch, entry.values.clone(), entry.latency_ms);
-                self.hits += 1;
-                return CacheOutcome::Hit;
+                // An entry from an older (or unknown) sketch generator may
+                // still pass the structural validity check by accident;
+                // refuse it loudly instead of serving a degraded schedule.
+                if entry.generator != live_gen {
+                    saw_stale = true;
+                } else {
+                    task.record(entry.sketch, entry.values.clone(), entry.latency_ms);
+                    self.hits += 1;
+                    return CacheOutcome::Hit;
+                }
             }
         }
         let hash = structure_hash(task);
-        if let Some(donor) = self.store.best_for_structure(hash, device_name, key) {
+        // The donor scan mirrors `ScheduleStore::best_for_structure`
+        // (lowest latency, ties toward the smaller task key) but filters by
+        // namespace and generator fingerprint — tuning semantics the dumb
+        // store layer deliberately doesn't know about.
+        let mut donor: Option<&StoredSchedule> = None;
+        for entry in self.store.entries() {
+            if entry.structure_hash != hash
+                || entry.device != device_name
+                || entry.task_key == key
+                || !entry.latency_ms.is_finite()
+                || !self.in_namespace(entry)
+            {
+                continue;
+            }
+            if entry.generator != live_gen {
+                saw_stale = true;
+                continue;
+            }
+            if donor.is_none_or(|b| entry.latency_ms < b.latency_ms) {
+                donor = Some(entry);
+            }
+        }
+        // Exact fresh hits return above without reaching here, so any
+        // surviving `saw_stale` means staleness degraded this task's
+        // outcome (hit → warm start, or anything → miss).
+        if saw_stale {
+            self.stale += 1;
+        }
+        if let Some(donor) = donor {
             let Some(st) = task.sketches.get(donor.sketch) else {
                 return CacheOutcome::Miss;
             };
@@ -147,15 +241,17 @@ impl ScheduleCache {
         for task in tasks {
             let Some((sketch, vals)) = &task.best_schedule else { continue };
             let Some(st) = task.sketches.get(*sketch) else { continue };
+            let scoped = self.scoped(&task.workload_key);
             let entry = StoredSchedule {
-                task_key: task_key(&task.workload_key, device_name),
-                workload_key: task.workload_key.clone(),
+                task_key: task_key(&scoped, device_name),
+                workload_key: scoped,
                 device: device_name.to_string(),
                 structure_hash: structure_hash(task),
                 sketch: *sketch,
                 sketch_name: st.name.to_string(),
                 values: vals.clone(),
                 latency_ms: task.best_latency_ms,
+                generator: generator_hash(),
             };
             if let Err(e) = self.store.insert(entry) {
                 eprintln!(

@@ -32,8 +32,9 @@ use std::path::{Path, PathBuf};
 
 /// Checkpoint document version, bumped on incompatible format changes.
 /// Version 2.0 added per-sketch supervision modes to task snapshots;
-/// version 3.0 added schedule-store attachment and per-task warm hints.
-const CHECKPOINT_VERSION: f64 = 3.0;
+/// version 3.0 added schedule-store attachment and per-task warm hints;
+/// version 4.0 added the schedule-store tenant namespace.
+const CHECKPOINT_VERSION: f64 = 4.0;
 
 /// A [`MeasurementSink`] appending every measurement to a durable
 /// [`RecordLog`]. Write errors are reported once to stderr and then disable
@@ -208,6 +209,9 @@ pub struct CheckpointState {
     /// it (for best-schedule publication only — hits and warm hints are
     /// applied once at attach time, never re-derived on resume).
     pub schedule_store: Option<String>,
+    /// Tenant namespace the schedule store was attached under, if any, so
+    /// resume republishes into the same namespace.
+    pub schedule_ns: Option<String>,
     /// The time-vs-latency curve accumulated so far.
     pub history: Vec<CurvePoint>,
     /// Per-task search-state snapshots, in task order.
@@ -398,6 +402,13 @@ pub fn checkpoint_to_json(state: &CheckpointState) -> Json {
             },
         ),
         (
+            "schedule_ns",
+            match &state.schedule_ns {
+                Some(ns) => Json::Str(ns.clone()),
+                None => Json::Null,
+            },
+        ),
+        (
             "history",
             Json::Arr(
                 state
@@ -447,6 +458,10 @@ pub fn checkpoint_from_json(doc: &Json) -> Option<CheckpointState> {
             Json::Null => None,
             node => Some(node.as_str()?.to_string()),
         },
+        schedule_ns: match doc.get("schedule_ns")? {
+            Json::Null => None,
+            node => Some(node.as_str()?.to_string()),
+        },
         history,
         tasks: doc
             .get("tasks")?
@@ -488,6 +503,7 @@ mod tests {
             checkpoint_every: 2,
             record_log: Some("/tmp/records.jsonl".to_string()),
             schedule_store: Some("/tmp/schedules.jsonl".to_string()),
+            schedule_ns: Some("tenant-a".to_string()),
             history: vec![
                 CurvePoint { time_s: 1.5, latency_ms: 10.25 },
                 CurvePoint { time_s: 3.0, latency_ms: 1.0 / 3.0 },
@@ -543,9 +559,11 @@ mod tests {
         let mut state = sample_state();
         state.record_log = None;
         state.schedule_store = None;
+        state.schedule_ns = None;
         let back =
             checkpoint_from_json(&checkpoint_to_json(&state)).expect("decode");
         assert_eq!(back.record_log, None);
         assert_eq!(back.schedule_store, None);
+        assert_eq!(back.schedule_ns, None);
     }
 }

@@ -196,6 +196,118 @@ fn warm_start_from_structural_near_miss_is_deterministic() {
 }
 
 #[test]
+fn stale_generator_entries_are_clean_misses_and_retuned() {
+    // Regression for the ROADMAP "stale cache" gap: entries written by a
+    // different sketch-generator version must be skipped-and-counted, not
+    // served. Tune once (publishing entries stamped with the live
+    // generator fingerprint), flip every stored fingerprint on disk, and
+    // reattach: every lookup must come back a clean miss with the stale
+    // counter raised, and re-tuning must proceed bit-identically to a run
+    // against no store at all.
+    let device = DeviceConfig::a5000();
+    let model = pretrained_cost_model(&device, ModelQuality::Fast);
+    let dir = tmp_dir("stale");
+    let store = dir.join("schedules.jsonl");
+
+    let mut tuned = Optimizer::with_options(tiny_network(), model.clone(), device, quick_options(1))
+        .with_schedule_store(&store)
+        .expect("open schedule store");
+    let n_tasks = tuned.tasks().len();
+    let n_rounds = n_tasks + 1;
+    tuned.optimize_all(n_rounds, 4);
+
+    // Flip the generator fingerprint of every entry, simulating a store
+    // written by an older sketch generator.
+    let live = felix_tir::sketch::generator_hash();
+    let flipped = live ^ 0xFFFF_FFFF_FFFF_FFFF;
+    let text = std::fs::read_to_string(&store).expect("read store");
+    let stale_text = text.replace(
+        &format!("\"gen\":\"{live:016x}\""),
+        &format!("\"gen\":\"{flipped:016x}\""),
+    );
+    assert_ne!(text, stale_text, "store entries carry the live fingerprint");
+    std::fs::write(&store, stale_text).expect("rewrite store");
+
+    let mut stale_run =
+        Optimizer::with_options(tiny_network(), model.clone(), device, quick_options(1))
+            .with_schedule_store(&store)
+            .expect("reopen schedule store");
+    {
+        let cache = stale_run.schedule_cache().expect("store attached");
+        assert_eq!(cache.hits, 0, "stale entries must not be served");
+        assert_eq!(cache.warm_starts, 0, "stale entries must not warm-start");
+        assert_eq!(cache.stale, n_tasks, "every rejection is counted");
+    }
+    // The rejections are surfaced through the stats channel.
+    assert_eq!(stale_run.stats.len(), 1);
+    assert_eq!(stale_run.stats[0].schedule_cache_stale, n_tasks);
+    assert!(stale_run.stats[0].summary().contains("stale"));
+
+    // The re-tune is bit-identical to a storeless run: a stale store
+    // degrades cleanly to a cold start, perturbing nothing.
+    let mut plain = Optimizer::with_options(tiny_network(), model, device, quick_options(1));
+    plain.optimize_all(n_rounds, 4);
+    stale_run.optimize_all(n_rounds, 4);
+    assert_eq!(history_bits(&plain), history_bits(&stale_run));
+    assert_eq!(plain.rng_state(), stale_run.rng_state());
+    assert_tasks_bit_identical(&plain, &stale_run);
+    // Publishing replaced the stale entries with freshly stamped ones
+    // (strictly better or equal latencies re-tuned from scratch), so a
+    // third attach hits again.
+    let third = Optimizer::with_options(
+        tiny_network(),
+        pretrained_cost_model(&DeviceConfig::a5000(), ModelQuality::Fast),
+        DeviceConfig::a5000(),
+        quick_options(1),
+    )
+    .with_schedule_store(&store)
+    .expect("third attach");
+    let cache = third.schedule_cache().expect("attached");
+    assert!(cache.hits > 0, "re-published entries serve again");
+    assert_eq!(cache.stale, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tenant_namespaces_isolate_schedule_lookups() {
+    // Two tenants share one store file: tenant A tunes and publishes;
+    // tenant B attaching the same file must see neither exact hits nor
+    // warm starts from A's entries, while A re-attaching sees full hits.
+    // The unscoped global namespace is likewise invisible to both.
+    let device = DeviceConfig::a5000();
+    let model = pretrained_cost_model(&device, ModelQuality::Fast);
+    let dir = tmp_dir("ns");
+    let store = dir.join("schedules.jsonl");
+
+    let mut tenant_a =
+        Optimizer::with_options(tiny_network(), model.clone(), device, quick_options(1))
+            .with_schedule_store_namespaced(&store, "tenant-a")
+            .expect("open store");
+    let n_tasks = tenant_a.tasks().len();
+    tenant_a.optimize_all(n_tasks + 1, 4);
+
+    let tenant_b = Optimizer::with_options(tiny_network(), model.clone(), device, quick_options(1))
+        .with_schedule_store_namespaced(&store, "tenant-b")
+        .expect("open store as tenant-b");
+    let cache_b = tenant_b.schedule_cache().expect("attached");
+    assert_eq!(cache_b.hits, 0, "cross-tenant exact hits forbidden");
+    assert_eq!(cache_b.warm_starts, 0, "cross-tenant warm starts forbidden");
+    assert_eq!(cache_b.stale, 0);
+
+    let global = Optimizer::with_options(tiny_network(), model.clone(), device, quick_options(1))
+        .with_schedule_store(&store)
+        .expect("open store unscoped");
+    let cache_g = global.schedule_cache().expect("attached");
+    assert_eq!(cache_g.hits + cache_g.warm_starts, 0, "scoped entries invisible globally");
+
+    let again = Optimizer::with_options(tiny_network(), model, device, quick_options(1))
+        .with_schedule_store_namespaced(&store, "tenant-a")
+        .expect("reopen store as tenant-a");
+    assert_eq!(again.schedule_cache().expect("attached").hits, n_tasks);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn kill_and_resume_with_store_attached_stays_byte_identical() {
     // The store composes with checkpointing: checkpoint every round, kill
     // halfway, resume (which reattaches the store for publishing), finish.

@@ -1,0 +1,420 @@
+//! Durable job-queue records for the tuning service.
+//!
+//! The serving tier (`felix-serve`) fronts the tuner with a write-ahead
+//! log: every submitted job is appended here *before* the client sees an
+//! acknowledgment, every completion is appended *after* the job's result
+//! document is durably on disk. Because the WAL is the only authority on
+//! queue membership, a worker killed at any instant recovers the exact
+//! queue by replaying the log — claims are observability-only and carry no
+//! recovery weight (a claimed-but-incomplete job is simply still pending).
+//!
+//! The wire format follows the crate's house rules: JSONL with one record
+//! per line, flush-per-append durability, torn tails skipped on read, and
+//! every fractional number encoded as a 16-hex-digit bit pattern so replay
+//! is bit-exact.
+
+use crate::Json;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Version of the job-record wire format. Bumped whenever a field is
+/// added, removed, or re-encoded; readers skip lines from a newer version
+/// instead of guessing at their meaning.
+pub const JOB_RECORD_VERSION: usize = 1;
+
+/// One line of the job WAL.
+///
+/// The job spec and result travel as opaque [`Json`] documents: the WAL
+/// layer guarantees durability and ordering, while the serving tier owns
+/// the schema — so a spec-format change never forces a WAL-format bump.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobRecord {
+    /// A job entered the queue. Appended (and flushed) before the client
+    /// is acknowledged, so an acked job can never be lost.
+    Submitted {
+        /// Queue-wide job identity, assigned by the frontend.
+        job_id: u64,
+        /// Owning tenant (namespaces the schedule store and fairness).
+        tenant: String,
+        /// Opaque job spec, interpreted by the serving tier.
+        spec: Json,
+    },
+    /// A worker shard picked the job up. Observability only: replay
+    /// ignores claims, so a crash between claim and completion leaves the
+    /// job pending, exactly as required.
+    Claimed {
+        /// The claimed job.
+        job_id: u64,
+        /// Claiming worker shard index.
+        shard: usize,
+    },
+    /// The job finished and its result document is durable. Appended
+    /// *after* the result write, so a completion line is proof the result
+    /// can be served.
+    Completed {
+        /// The finished job.
+        job_id: u64,
+        /// Tuning rounds the job consumed.
+        rounds: usize,
+        /// Best end-to-end latency achieved (milliseconds; bit-exact on
+        /// the wire).
+        latency_ms: f64,
+        /// Opaque result summary, interpreted by the serving tier.
+        result: Json,
+    },
+}
+
+impl JobRecord {
+    /// The record's job id.
+    pub fn job_id(&self) -> u64 {
+        match *self {
+            JobRecord::Submitted { job_id, .. }
+            | JobRecord::Claimed { job_id, .. }
+            | JobRecord::Completed { job_id, .. } => job_id,
+        }
+    }
+
+    /// Serializes the record as a single JSON line (no newline).
+    pub fn to_json(&self) -> Json {
+        let (kind, mut fields) = match self {
+            JobRecord::Submitted { job_id, tenant, spec } => (
+                "job-submit",
+                vec![
+                    ("job", Json::u64_hex(*job_id)),
+                    ("tenant", Json::Str(tenant.clone())),
+                    ("spec", spec.clone()),
+                ],
+            ),
+            JobRecord::Claimed { job_id, shard } => (
+                "job-claim",
+                vec![
+                    ("job", Json::u64_hex(*job_id)),
+                    ("shard", Json::Num(*shard as f64)),
+                ],
+            ),
+            JobRecord::Completed { job_id, rounds, latency_ms, result } => (
+                "job-done",
+                vec![
+                    ("job", Json::u64_hex(*job_id)),
+                    ("rounds", Json::Num(*rounds as f64)),
+                    ("latency_ms", Json::f64_bits(*latency_ms)),
+                    ("result", result.clone()),
+                ],
+            ),
+        };
+        let mut all = vec![
+            ("kind", Json::Str(kind.to_string())),
+            ("v", Json::Num(JOB_RECORD_VERSION as f64)),
+        ];
+        all.append(&mut fields);
+        Json::obj(all)
+    }
+
+    /// Decodes a job record parsed from one WAL line. Returns `None` for
+    /// non-job lines and for lines written by a newer format version.
+    pub fn from_json(doc: &Json) -> Option<JobRecord> {
+        let kind = doc.get("kind")?.as_str()?;
+        if !kind.starts_with("job-") {
+            return None;
+        }
+        if doc.get("v")?.as_usize()? > JOB_RECORD_VERSION {
+            return None;
+        }
+        let job_id = doc.get("job")?.as_u64_hex()?;
+        match kind {
+            "job-submit" => Some(JobRecord::Submitted {
+                job_id,
+                tenant: doc.get("tenant")?.as_str()?.to_string(),
+                spec: doc.get("spec")?.clone(),
+            }),
+            "job-claim" => Some(JobRecord::Claimed {
+                job_id,
+                shard: doc.get("shard")?.as_usize()?,
+            }),
+            "job-done" => Some(JobRecord::Completed {
+                job_id,
+                rounds: doc.get("rounds")?.as_usize()?,
+                latency_ms: doc.get("latency_ms")?.as_f64_bits()?,
+                result: doc.get("result")?.clone(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The append side of the job WAL: flush-per-append, so once `append`
+/// returns the record survives any crash of this process.
+#[derive(Debug)]
+pub struct JobWal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+}
+
+impl JobWal {
+    /// Opens (creating if needed) the WAL at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from opening the file.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<JobWal> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(JobWal { path, writer: BufWriter::new(file) })
+    }
+
+    /// The WAL's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing.
+    pub fn append(&mut self, record: &JobRecord) -> std::io::Result<()> {
+        let mut line = record.to_json().write();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Reads every intact record currently in the WAL (see
+    /// [`read_job_records`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from reading the file.
+    pub fn read_records(&self) -> std::io::Result<Vec<JobRecord>> {
+        read_job_records(&self.path)
+    }
+}
+
+/// Reads the intact job records of a WAL at `path`, in append order. A
+/// missing file reads as an empty log; torn, corrupt, non-job, or
+/// newer-version lines are skipped with the same rules as
+/// [`crate::read_all_records`].
+///
+/// # Errors
+///
+/// Returns I/O errors other than the file not existing.
+pub fn read_job_records(path: impl AsRef<Path>) -> std::io::Result<Vec<JobRecord>> {
+    let mut bytes = Vec::new();
+    match File::open(path.as_ref()) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    }
+    let mut out = Vec::new();
+    // Only newline-terminated lines count: a line missing its terminator is
+    // by definition the torn tail of an interrupted append.
+    for line in bytes.split_inclusive(|&b| b == b'\n') {
+        let Some(line) = line.strip_suffix(b"\n") else { break };
+        let Ok(text) = std::str::from_utf8(line) else { continue };
+        if text.trim().is_empty() {
+            continue;
+        }
+        let Ok(doc) = Json::parse(text) else { continue };
+        if let Some(rec) = JobRecord::from_json(&doc) {
+            out.push(rec);
+        }
+    }
+    Ok(out)
+}
+
+/// A job still in the queue (submitted, not yet completed).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmittedJob {
+    /// Queue-wide job identity.
+    pub job_id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Opaque job spec as submitted.
+    pub spec: Json,
+}
+
+/// A finished job, as proven by its `job-done` WAL line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompletedJob {
+    /// Tuning rounds the job consumed.
+    pub rounds: usize,
+    /// Best end-to-end latency achieved (milliseconds).
+    pub latency_ms: f64,
+    /// Opaque result summary.
+    pub result: Json,
+}
+
+/// The queue state a WAL replays to. Deterministic: the same record
+/// sequence always yields the same state, and claims never affect it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueueState {
+    /// Every submitted job, in WAL (= acknowledgment) order, including
+    /// completed ones. Duplicate submit lines for one id keep the first.
+    pub submitted: Vec<SubmittedJob>,
+    /// Last observed claim per job (observability only).
+    pub claims: BTreeMap<u64, usize>,
+    /// Finished jobs by id. Duplicate done lines for one id keep the
+    /// first (re-finalization after a crash re-appends identically).
+    pub completed: BTreeMap<u64, CompletedJob>,
+}
+
+impl QueueState {
+    /// Replays a record sequence (as read by [`read_job_records`]) into
+    /// the queue state.
+    pub fn replay(records: &[JobRecord]) -> QueueState {
+        let mut state = QueueState::default();
+        for rec in records {
+            match rec {
+                JobRecord::Submitted { job_id, tenant, spec } => {
+                    if !state.submitted.iter().any(|j| j.job_id == *job_id) {
+                        state.submitted.push(SubmittedJob {
+                            job_id: *job_id,
+                            tenant: tenant.clone(),
+                            spec: spec.clone(),
+                        });
+                    }
+                }
+                JobRecord::Claimed { job_id, shard } => {
+                    state.claims.insert(*job_id, *shard);
+                }
+                JobRecord::Completed { job_id, rounds, latency_ms, result } => {
+                    state.completed.entry(*job_id).or_insert_with(|| CompletedJob {
+                        rounds: *rounds,
+                        latency_ms: *latency_ms,
+                        result: result.clone(),
+                    });
+                }
+            }
+        }
+        state
+    }
+
+    /// Jobs submitted but not yet completed, in submission order.
+    pub fn pending(&self) -> Vec<&SubmittedJob> {
+        self.submitted
+            .iter()
+            .filter(|j| !self.completed.contains_key(&j.job_id))
+            .collect()
+    }
+
+    /// The submitted job with this id, if any.
+    pub fn job(&self, job_id: u64) -> Option<&SubmittedJob> {
+        self.submitted.iter().find(|j| j.job_id == job_id)
+    }
+
+    /// The smallest id strictly greater than every submitted job's —
+    /// what the frontend assigns to the next submission.
+    pub fn next_job_id(&self) -> u64 {
+        self.submitted.iter().map(|j| j.job_id + 1).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "felix-jobs-{tag}-{}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn sample_records() -> Vec<JobRecord> {
+        vec![
+            JobRecord::Submitted {
+                job_id: 0,
+                tenant: "acme".to_string(),
+                spec: Json::obj(vec![("model", Json::Str("dcgan".to_string()))]),
+            },
+            JobRecord::Submitted {
+                job_id: 1,
+                tenant: "globex".to_string(),
+                spec: Json::obj(vec![("rounds", Json::Num(3.0))]),
+            },
+            JobRecord::Claimed { job_id: 0, shard: 1 },
+            JobRecord::Completed {
+                job_id: 0,
+                rounds: 3,
+                latency_ms: 0.1 + 0.2, // non-representable sum
+                result: Json::obj(vec![("best", Json::f64_bits(1.25))]),
+            },
+        ]
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly() {
+        let path = tmp_path("roundtrip");
+        let mut wal = JobWal::open(&path).expect("open");
+        for r in sample_records() {
+            wal.append(&r).expect("append");
+        }
+        let back = wal.read_records().expect("read");
+        assert_eq!(back, sample_records());
+        let JobRecord::Completed { latency_ms, .. } = &back[3] else { panic!("done") };
+        assert_eq!(latency_ms.to_bits(), (0.1f64 + 0.2).to_bits());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_ignores_claims_and_orders_pending() {
+        let state = QueueState::replay(&sample_records());
+        assert_eq!(state.submitted.len(), 2);
+        assert_eq!(state.claims.get(&0), Some(&1));
+        assert!(state.completed.contains_key(&0));
+        let pending = state.pending();
+        assert_eq!(pending.len(), 1, "claimed-but-incomplete stays pending");
+        assert_eq!(pending[0].job_id, 1);
+        assert_eq!(pending[0].tenant, "globex");
+        assert_eq!(state.next_job_id(), 2);
+    }
+
+    #[test]
+    fn replay_is_idempotent_under_duplicates() {
+        let mut records = sample_records();
+        // A crash between result write and done-append re-finalizes: the
+        // WAL can hold the same done (and claim) line twice.
+        records.push(JobRecord::Claimed { job_id: 0, shard: 1 });
+        records.push(records[3].clone());
+        records.push(records[0].clone());
+        assert_eq!(QueueState::replay(&records), QueueState::replay(&sample_records()));
+    }
+
+    #[test]
+    fn torn_tail_and_foreign_lines_are_skipped() {
+        let path = tmp_path("torn");
+        let mut wal = JobWal::open(&path).expect("open");
+        for r in sample_records() {
+            wal.append(&r).expect("append");
+        }
+        drop(wal);
+        let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+        // A foreign (non-job) line, a newer-version job line, then a torn
+        // tail with no newline.
+        writeln!(f, "{{\"kind\":\"health\",\"v\":1}}").expect("write");
+        writeln!(
+            f,
+            "{{\"kind\":\"job-claim\",\"v\":{},\"job\":\"0000000000000002\",\"shard\":0}}",
+            JOB_RECORD_VERSION + 1
+        )
+        .expect("write");
+        write!(f, "{{\"kind\":\"job-submit\",\"v\":1,\"job\":\"00").expect("write");
+        drop(f);
+        assert_eq!(read_job_records(&path).expect("read"), sample_records());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_wal_reads_empty() {
+        assert!(read_job_records(tmp_path("missing")).expect("read").is_empty());
+        let state = QueueState::replay(&[]);
+        assert!(state.pending().is_empty());
+        assert_eq!(state.next_job_id(), 0);
+    }
+}

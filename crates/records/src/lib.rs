@@ -18,9 +18,14 @@
 //! module, whose number formatting round-trips every finite `f64`
 //! bit-exactly (the foundation of the byte-identical resume guarantee).
 
+pub mod jobs;
 pub mod json;
 pub mod store;
 
+pub use jobs::{
+    read_job_records, CompletedJob, JobRecord, JobWal, QueueState, SubmittedJob,
+    JOB_RECORD_VERSION,
+};
 pub use json::Json;
 pub use store::{ScheduleStore, StoredSchedule, SCHEDULE_STORE_VERSION};
 

@@ -57,6 +57,14 @@ pub struct StoredSchedule {
     /// Sketch name, validated on use so entries from a stale sketch
     /// generator are ignored instead of corrupting the search state.
     pub sketch_name: String,
+    /// Fingerprint of the sketch generator that produced this schedule
+    /// (`felix_tir::sketch::generator_hash` in the tuner). An entry whose
+    /// fingerprint differs from the live generator's is *stale*: its sketch
+    /// index and variable vector may no longer mean what they did, so cache
+    /// layers skip it (and count the skip) instead of trusting name/arity
+    /// validation to catch the drift. Entries written before versioning
+    /// existed decode as `0`, which no live generator produces.
+    pub generator: u64,
     /// The schedule-variable assignment (bit-exact).
     pub values: Vec<f64>,
     /// The measured latency of this schedule in milliseconds (bit-exact).
@@ -75,6 +83,7 @@ impl StoredSchedule {
             ("structure", Json::u64_hex(self.structure_hash)),
             ("sketch", Json::Num(self.sketch as f64)),
             ("sketch_name", Json::Str(self.sketch_name.clone())),
+            ("gen", Json::u64_hex(self.generator)),
             (
                 "values",
                 Json::Arr(self.values.iter().map(|&v| Json::f64_bits(v)).collect()),
@@ -99,6 +108,9 @@ impl StoredSchedule {
             structure_hash: doc.get("structure")?.as_u64_hex()?,
             sketch: doc.get("sketch")?.as_usize()?,
             sketch_name: doc.get("sketch_name")?.as_str()?.to_string(),
+            // Pre-versioning lines carry no fingerprint; 0 marks them as
+            // from-an-unknown-generator (always stale to a live tuner).
+            generator: doc.get("gen").and_then(Json::as_u64_hex).unwrap_or(0),
             values: doc
                 .get("values")?
                 .as_arr()?
@@ -216,6 +228,12 @@ impl ScheduleStore {
     /// that leaves the file byte-identical; a non-finite latency is always
     /// rejected. Returns whether the entry was written.
     ///
+    /// Exception: an entry whose `generator` fingerprint differs from the
+    /// stored one always supersedes it, whatever the latencies — inserts
+    /// come from live tuning runs, so the incoming fingerprint is the
+    /// current one and the stored entry is stale (its latency belongs to a
+    /// schedule the current generator may not even produce).
+    ///
     /// # Errors
     ///
     /// Returns any I/O error from appending.
@@ -224,7 +242,7 @@ impl ScheduleStore {
             return Ok(false);
         }
         if let Some(existing) = self.entries.get(&entry.task_key) {
-            if existing.latency_ms <= entry.latency_ms {
+            if existing.generator == entry.generator && existing.latency_ms <= entry.latency_ms {
                 return Ok(false);
             }
         }
@@ -266,14 +284,18 @@ impl ScheduleStore {
     }
 }
 
-/// Better-only merge: replaying improvement lines in any order converges
-/// to the same per-key minimum.
+/// Better-only merge within one generator fingerprint (replaying such
+/// lines in any order converges to the same per-key minimum); a line with
+/// a *different* fingerprint supersedes unconditionally, so in append
+/// order the latest generation's improvement log wins.
 fn merge_entry(entries: &mut BTreeMap<u64, StoredSchedule>, entry: StoredSchedule) {
     if !entry.latency_ms.is_finite() {
         return;
     }
     match entries.get(&entry.task_key) {
-        Some(existing) if existing.latency_ms <= entry.latency_ms => {}
+        Some(existing)
+            if existing.generator == entry.generator
+                && existing.latency_ms <= entry.latency_ms => {}
         _ => {
             entries.insert(entry.task_key, entry);
         }
@@ -303,6 +325,7 @@ mod tests {
             structure_hash: 0xABCD_0000 + (i as u64 % 2),
             sketch: i % 2,
             sketch_name: "multi-level-tiling".to_string(),
+            generator: 0x5EED_FACE,
             values: vec![2.0, 16.0, 4.0 + i as f64, 0.1 + 0.2],
             latency_ms: 1.25 + i as f64 * 0.1,
         }
@@ -461,6 +484,18 @@ mod tests {
             .best_for_structure(e0.structure_hash, "A10G", 0)
             .is_none());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pre_versioning_lines_decode_with_generator_zero() {
+        let mut doc = sample_entry(0).to_json();
+        let Json::Obj(fields) = &mut doc else { panic!("obj") };
+        fields.retain(|(k, _)| k != "gen");
+        let back = StoredSchedule::from_json(&doc).expect("decode");
+        assert_eq!(back.generator, 0, "missing fingerprint reads as unknown");
+        let mut expected = sample_entry(0);
+        expected.generator = 0;
+        assert_eq!(back, expected);
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! `felix-served` — the tuning-as-a-service daemon.
+//!
+//! ```text
+//! felix-served --data-dir DIR [--addr HOST:PORT] [--shards N]
+//! ```
+//!
+//! Prints `felix-served listening on ADDR` once the socket is bound (the
+//! tests and scripts parse that line for the resolved ephemeral port),
+//! then serves until a `shutdown` request arrives. All durable state
+//! lives under `--data-dir`; killing the process at any instant and
+//! restarting it with the same directory resumes every unfinished job.
+
+use felix_serve::server::{ServeConfig, Server};
+use std::io::Write;
+use std::path::PathBuf;
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut data_dir: Option<PathBuf> = None;
+    let mut shards = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--data-dir" => data_dir = Some(PathBuf::from(value("--data-dir"))),
+            "--shards" => {
+                shards = value("--shards").parse().unwrap_or_else(|e| {
+                    eprintln!("--shards: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: felix-served --data-dir DIR [--addr HOST:PORT] [--shards N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(data_dir) = data_dir else {
+        eprintln!("felix-served: --data-dir is required (try --help)");
+        std::process::exit(2);
+    };
+    let config = ServeConfig { addr, data_dir, shards };
+    let server = Server::start(&config).unwrap_or_else(|e| {
+        eprintln!("felix-served: {e}");
+        std::process::exit(1);
+    });
+    println!("felix-served listening on {}", server.addr);
+    std::io::stdout().flush().ok();
+    server.wait();
+}

@@ -1,0 +1,136 @@
+//! A small blocking client for the daemon.
+//!
+//! One TCP connection, synchronous request/response. Server-side
+//! [`Response::Error`] answers surface as `Err`, so every method returns
+//! exactly the success payload it names.
+
+use crate::protocol::{read_frame, write_frame, FrameError, JobRow, Request, Response};
+use crate::spec::JobSpec;
+use felix_records::Json;
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error as a string (the whole client API speaks
+    /// `Result<_, String>` so callers can surface messages verbatim).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let read_half = stream.try_clone().map_err(|e| format!("connect: {e}"))?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, String> {
+        write_frame(&mut self.writer, &request.to_json()).map_err(|e| e.to_string())?;
+        let doc = match read_frame(&mut self.reader) {
+            Ok(doc) => doc,
+            Err(FrameError::Closed) => return Err("server closed the connection".to_string()),
+            Err(e) => return Err(e.to_string()),
+        };
+        match Response::from_json(&doc)? {
+            Response::Error { message } => Err(message),
+            response => Ok(response),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or an unexpected response.
+    pub fn ping(&mut self) -> Result<(), String> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Submits a job; returns its id once the server has it durably
+    /// queued.
+    ///
+    /// # Errors
+    ///
+    /// Returns the server's validation or queueing error.
+    pub fn submit(&mut self, tenant: &str, spec: &JobSpec) -> Result<u64, String> {
+        let request = Request::Submit { tenant: tenant.to_string(), spec: spec.to_json() };
+        match self.call(&request)? {
+            Response::Ack { job_id } => Ok(job_id),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// One job's state: `"pending"`, `"running"`, or `"done"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` for unknown jobs.
+    pub fn status(&mut self, job_id: u64) -> Result<String, String> {
+        match self.call(&Request::Status { job_id })? {
+            Response::JobStatus { state, .. } => Ok(state),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// A finished job's result document.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` while the job is still running, or for unknown jobs.
+    pub fn result(&mut self, job_id: u64) -> Result<Json, String> {
+        match self.call(&Request::Result { job_id })? {
+            Response::JobResult { result, .. } => Ok(result),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Every job the server knows, in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or an unexpected response.
+    pub fn list(&mut self) -> Result<Vec<JobRow>, String> {
+        match self.call(&Request::List)? {
+            Response::Jobs { jobs } => Ok(jobs),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Asks the daemon to stop; the connection is spent afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors or an unexpected response.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        match self.call(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(format!("unexpected response {other:?}")),
+        }
+    }
+
+    /// Polls until the job finishes, then returns its result document.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` for unknown jobs or transport failures.
+    pub fn wait_done(&mut self, job_id: u64) -> Result<Json, String> {
+        loop {
+            if self.status(job_id)? == "done" {
+                return self.result(job_id);
+            }
+            std::thread::sleep(Duration::from_millis(30));
+        }
+    }
+}

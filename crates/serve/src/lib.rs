@@ -1,0 +1,31 @@
+//! Tuning as a service: a daemon (`felix-served`) that accepts tuning
+//! jobs over TCP, queues them durably, and runs them on worker shards
+//! with the full checkpoint/schedule-store stack attached.
+//!
+//! The design goal is the same determinism contract the rest of the
+//! workspace keeps: **a daemon killed at any instant and restarted on the
+//! same data directory finishes every job with byte-identical results**.
+//! Three rules deliver it:
+//!
+//! 1. every job is WAL-logged (flushed) before it is acknowledged, so the
+//!    pending set survives any crash;
+//! 2. workers checkpoint after every round and derive all scheduling
+//!    decisions from durable state only;
+//! 3. results are written atomically before their completion record, and
+//!    finalization is idempotent.
+//!
+//! Modules: [`protocol`] (wire format), [`spec`] (job specs), [`worker`]
+//! (shards + fairness), [`server`] (the daemon), [`client`] (a blocking
+//! helper).
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod spec;
+pub mod worker;
+
+pub use client::Client;
+pub use protocol::{read_frame, write_frame, FrameError, JobRow, Request, Response, MAX_FRAME};
+pub use server::{ServeConfig, Server};
+pub use spec::JobSpec;
+pub use worker::{job_dir, result_path, store_path, Shard, StepOutcome, WAL_FILE};

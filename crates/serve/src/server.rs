@@ -1,0 +1,324 @@
+//! The daemon: TCP frontend, durable queue, worker pool.
+//!
+//! Thread layout:
+//!
+//! - an **accept loop** takes connections and spawns one handler thread
+//!   per client (the protocol is synchronous request/response, so a slow
+//!   client costs one parked thread and nothing else);
+//! - `n_shards` **worker threads** each run a [`Shard`]: claim pending
+//!   jobs by `job_id % n_shards`, tick them under the fairness policy,
+//!   and append completion records;
+//! - all durable state funnels through one mutex-guarded [`State`]:
+//!   the WAL appender and the replayed [`QueueState`] it feeds.
+//!
+//! ## Durability protocol
+//!
+//! Submit: WAL line flushed **before** the `ack` response — an acked job
+//! survives any crash. Complete: the result document is written
+//! atomically **before** the completion line — a completion line proves
+//! the result is servable. Claims are logged for observability only.
+//! Workers killed mid-job restart from the per-job checkpoints; see
+//! [`crate::worker`] for why the replay is byte-identical.
+
+use crate::protocol::{read_frame, write_frame, FrameError, JobRow, Request, Response};
+use crate::spec::JobSpec;
+use crate::worker::{Shard, StepOutcome, WAL_FILE};
+use felix_records::jobs::{CompletedJob, SubmittedJob};
+use felix_records::{JobRecord, JobWal, QueueState};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `"127.0.0.1:0"` (port 0 = ephemeral).
+    pub addr: String,
+    /// Root of all durable state: WAL, per-job checkpoints and results,
+    /// per-tenant schedule stores.
+    pub data_dir: PathBuf,
+    /// Worker shards (jobs are partitioned by `job_id % shards`).
+    pub shards: usize,
+}
+
+struct State {
+    wal: JobWal,
+    queue: QueueState,
+    /// Jobs a shard adopted in this process (status display only; a
+    /// crash resets this, and the replayed queue makes them pending
+    /// again, which is exactly their recovery state).
+    running: std::collections::BTreeSet<u64>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work: Condvar,
+    data_dir: PathBuf,
+    n_shards: usize,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().expect("server state poisoned")
+    }
+}
+
+/// A running daemon (see the module docs).
+pub struct Server {
+    /// The bound listen address (with the ephemeral port resolved).
+    pub addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Recovers durable state from `data_dir`, binds the listener, and
+    /// starts the worker pool. Pending jobs from a previous process are
+    /// picked up immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the data directory, WAL, or socket.
+    pub fn start(config: &ServeConfig) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&config.data_dir)?;
+        let wal = JobWal::open(config.data_dir.join(WAL_FILE))?;
+        let queue = QueueState::replay(&wal.read_records()?);
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                wal,
+                queue,
+                running: std::collections::BTreeSet::new(),
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            data_dir: config.data_dir.clone(),
+            n_shards: config.shards.max(1),
+            addr,
+        });
+        let mut threads = Vec::new();
+        for index in 0..shared.n_shards {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || worker_loop(&shared, index)));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || accept_loop(&shared, &listener)));
+        }
+        Ok(Server { addr, shared, threads })
+    }
+
+    /// Blocks until the daemon shuts down (via a `shutdown` request).
+    pub fn wait(self) {
+        for t in self.threads {
+            t.join().expect("server thread panicked");
+        }
+    }
+
+    /// Asks the daemon to stop, as the `shutdown` request does, and
+    /// blocks until every thread exits.
+    pub fn shutdown_and_wait(self) {
+        request_shutdown(&self.shared);
+        self.wait();
+    }
+}
+
+fn request_shutdown(shared: &Shared) {
+    shared.lock().shutdown = true;
+    shared.work.notify_all();
+    // Wake the accept loop out of `accept()` with a throwaway connection.
+    drop(TcpStream::connect(shared.addr));
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if shared.lock().shutdown {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Handler threads are detached: they exit when the client hangs
+        // up, and the process only ends after the joined workers drain.
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || handle_conn(&shared, stream));
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    let mut shard = Shard::new(index, shared.n_shards, &shared.data_dir);
+    loop {
+        // Claim every unadopted pending job this shard owns, or park
+        // until one arrives (unless jobs are already in flight).
+        let to_adopt: Vec<SubmittedJob> = {
+            let mut st = shared.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                let fresh: Vec<SubmittedJob> = st
+                    .queue
+                    .pending()
+                    .iter()
+                    .filter(|j| shard.owns(j.job_id) && !st.running.contains(&j.job_id))
+                    .map(|j| (*j).clone())
+                    .collect();
+                if !fresh.is_empty() || shard.has_active() {
+                    for job in &fresh {
+                        st.running.insert(job.job_id);
+                        let claim =
+                            JobRecord::Claimed { job_id: job.job_id, shard: index };
+                        if let Err(e) = st.wal.append(&claim) {
+                            eprintln!("[felix-serve] claim append failed: {e}");
+                        }
+                        st.queue.claims.insert(job.job_id, index);
+                    }
+                    break fresh;
+                }
+                st = shared.work.wait(st).expect("server state poisoned");
+            }
+        };
+        for job in &to_adopt {
+            if let Some(record) = shard.adopt(job) {
+                complete(shared, record);
+            }
+        }
+        if let Some(StepOutcome::Finished(record)) = shard.step() {
+            complete(shared, record);
+        }
+    }
+}
+
+/// Appends a completion record (the result document is already durable)
+/// and folds it into the live queue.
+fn complete(shared: &Shared, record: JobRecord) {
+    let JobRecord::Completed { job_id, rounds, latency_ms, ref result } = record else {
+        unreachable!("complete() only takes Completed records");
+    };
+    let mut st = shared.lock();
+    if let Err(e) = st.wal.append(&record) {
+        eprintln!("[felix-serve] completion append failed: {e}");
+    }
+    st.queue.completed.entry(job_id).or_insert_with(|| CompletedJob {
+        rounds,
+        latency_ms,
+        result: result.clone(),
+    });
+    st.running.remove(&job_id);
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let doc = match read_frame(&mut reader) {
+            Ok(doc) => doc,
+            Err(FrameError::Closed) => return,
+            Err(FrameError::Oversized) => {
+                // The rest of the oversized line is unread garbage; answer
+                // and drop the connection rather than resynchronize.
+                let resp = Response::Error { message: FrameError::Oversized.to_string() };
+                drop(write_frame(&mut writer, &resp.to_json()));
+                return;
+            }
+            Err(e @ FrameError::Malformed(_)) => {
+                let resp = Response::Error { message: e.to_string() };
+                if write_frame(&mut writer, &resp.to_json()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let response = match Request::from_json(&doc) {
+            Err(message) => Response::Error { message },
+            Ok(request) => {
+                let is_shutdown = request == Request::Shutdown;
+                let response = handle_request(shared, request);
+                if is_shutdown {
+                    drop(write_frame(&mut writer, &response.to_json()));
+                    request_shutdown(shared);
+                    return;
+                }
+                response
+            }
+        };
+        if write_frame(&mut writer, &response.to_json()).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_request(shared: &Shared, request: Request) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Shutdown => Response::Bye,
+        Request::Submit { tenant, spec } => {
+            // Validate before acknowledging: the WAL only holds specs the
+            // current build can run.
+            if let Err(message) = JobSpec::from_json(&spec) {
+                return Response::Error { message };
+            }
+            let mut st = shared.lock();
+            let job_id = st.queue.next_job_id();
+            let record = JobRecord::Submitted { job_id, tenant: tenant.clone(), spec: spec.clone() };
+            // Durability before acknowledgment: the flush happens inside
+            // `append`; only then does the client hear `ack`.
+            if let Err(e) = st.wal.append(&record) {
+                return Response::Error { message: format!("queue append failed: {e}") };
+            }
+            st.queue.submitted.push(SubmittedJob { job_id, tenant, spec });
+            drop(st);
+            shared.work.notify_all();
+            Response::Ack { job_id }
+        }
+        Request::Status { job_id } => {
+            let st = shared.lock();
+            let Some(job) = st.queue.job(job_id) else {
+                return Response::Error { message: format!("unknown job {job_id:016x}") };
+            };
+            Response::JobStatus {
+                job_id,
+                tenant: job.tenant.clone(),
+                state: job_state(&st, job_id).to_string(),
+            }
+        }
+        Request::Result { job_id } => {
+            let st = shared.lock();
+            if st.queue.job(job_id).is_none() {
+                return Response::Error { message: format!("unknown job {job_id:016x}") };
+            }
+            match st.queue.completed.get(&job_id) {
+                Some(done) => Response::JobResult { job_id, result: done.result.clone() },
+                None => Response::Error { message: format!("job {job_id:016x} not finished") },
+            }
+        }
+        Request::List => {
+            let st = shared.lock();
+            let jobs = st
+                .queue
+                .submitted
+                .iter()
+                .map(|j| JobRow {
+                    job_id: j.job_id,
+                    tenant: j.tenant.clone(),
+                    state: job_state(&st, j.job_id).to_string(),
+                })
+                .collect();
+            Response::Jobs { jobs }
+        }
+    }
+}
+
+fn job_state(st: &State, job_id: u64) -> &'static str {
+    if st.queue.completed.contains_key(&job_id) {
+        "done"
+    } else if st.running.contains(&job_id) {
+        "running"
+    } else {
+        "pending"
+    }
+}

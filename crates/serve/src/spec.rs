@@ -1,0 +1,186 @@
+//! Job specs: what a tenant asks the service to tune.
+//!
+//! A spec names a model (by the evaluation-network catalog in
+//! `felix_graph::models`), a target device, and the tuning budget. It
+//! round-trips through the wire codec losslessly (every field is an
+//! integer, string, or bool) and is validated *before* the job is
+//! acknowledged, so the WAL only ever holds runnable jobs.
+
+use felix_records::Json;
+use felix_sim::DeviceConfig;
+
+/// A validated tuning-job specification.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Model name: `"llama"`, `"resnet50"`, `"mobilenet_v2"`, `"r3d18"`,
+    /// `"dcgan"`, or `"vit_b32"`.
+    pub model: String,
+    /// Model parameters. Every model takes `[batch]`; `"llama"` also
+    /// accepts `[batch, seq, hidden, heads, ffn, layers]` for scaled-down
+    /// configurations.
+    pub params: Vec<i64>,
+    /// Target device name, matching a `DeviceConfig::all()` entry
+    /// (e.g. `"RTX A5000"`).
+    pub device: String,
+    /// Tuning rounds to run.
+    pub rounds: usize,
+    /// Hardware measurements per round.
+    pub measures: usize,
+    /// Gradient-descent seeds per round.
+    pub n_seeds: usize,
+    /// Gradient-descent steps per round.
+    pub n_steps: usize,
+    /// Opt-in: warm-start from the tenant's schedule store at job start.
+    /// Off by default because a job killed before its first checkpoint
+    /// restarts from scratch and would re-read a store that meanwhile
+    /// absorbed the killed attempt's publishes — warm-cached jobs trade
+    /// the byte-identical-under-crash guarantee for faster convergence.
+    pub warm_cache: bool,
+}
+
+impl JobSpec {
+    /// A small, fast default spec for `model` on `device` — the knobs the
+    /// tests and the README example use.
+    pub fn quick(model: &str, params: Vec<i64>, device: &str, rounds: usize) -> JobSpec {
+        JobSpec {
+            model: model.to_string(),
+            params,
+            device: device.to_string(),
+            rounds,
+            measures: 4,
+            n_seeds: 2,
+            n_steps: 15,
+            warm_cache: false,
+        }
+    }
+
+    /// Serializes the spec as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("model", Json::Str(self.model.clone())),
+            (
+                "params",
+                Json::Arr(self.params.iter().map(|&p| Json::Num(p as f64)).collect()),
+            ),
+            ("device", Json::Str(self.device.clone())),
+            ("rounds", Json::Num(self.rounds as f64)),
+            ("measures", Json::Num(self.measures as f64)),
+            ("n_seeds", Json::Num(self.n_seeds as f64)),
+            ("n_steps", Json::Num(self.n_steps as f64)),
+            ("warm_cache", Json::Bool(self.warm_cache)),
+        ])
+    }
+
+    /// Decodes and validates a spec document; `Err` carries the
+    /// client-facing reason.
+    pub fn from_json(doc: &Json) -> Result<JobSpec, String> {
+        let str_field = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("spec needs a string \"{name}\""))
+        };
+        let usize_field = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| format!("spec needs a non-negative integer \"{name}\""))
+        };
+        let params = doc
+            .get("params")
+            .and_then(Json::as_arr)
+            .ok_or("spec needs a \"params\" array")?
+            .iter()
+            .map(|p| {
+                p.as_f64()
+                    .filter(|v| v.fract() == 0.0 && v.abs() < 2f64.powi(53))
+                    .map(|v| v as i64)
+            })
+            .collect::<Option<Vec<i64>>>()
+            .ok_or("\"params\" must hold integers")?;
+        let spec = JobSpec {
+            model: str_field("model")?,
+            params,
+            device: str_field("device")?,
+            rounds: usize_field("rounds")?,
+            measures: usize_field("measures")?,
+            n_seeds: usize_field("n_seeds")?,
+            n_steps: usize_field("n_steps")?,
+            warm_cache: doc
+                .get("warm_cache")
+                .and_then(Json::as_bool)
+                .ok_or("spec needs a bool \"warm_cache\"")?,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Checks the spec is runnable: known model, right parameter arity,
+    /// known device, positive budgets, sane search knobs.
+    pub fn validate(&self) -> Result<(), String> {
+        let arity_ok = match self.model.as_str() {
+            "llama" => self.params.len() == 1 || self.params.len() == 6,
+            "resnet50" | "mobilenet_v2" | "r3d18" | "dcgan" | "vit_b32" => {
+                self.params.len() == 1
+            }
+            other => return Err(format!("unknown model {other:?}")),
+        };
+        if !arity_ok {
+            return Err(format!(
+                "model {:?} takes [batch]{} — got {} params",
+                self.model,
+                if self.model == "llama" { " or [batch, seq, hidden, heads, ffn, layers]" } else { "" },
+                self.params.len()
+            ));
+        }
+        if self.params.iter().any(|&p| p <= 0) {
+            return Err("every model parameter must be positive".to_string());
+        }
+        self.resolve_device()?;
+        if self.rounds == 0 || self.measures == 0 {
+            return Err("\"rounds\" and \"measures\" must be at least 1".to_string());
+        }
+        if self.n_seeds == 0 || self.n_steps == 0 {
+            return Err("\"n_seeds\" and \"n_steps\" must be at least 1".to_string());
+        }
+        Ok(())
+    }
+
+    /// Builds the model graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`JobSpec::validate`] error for an unrunnable spec.
+    pub fn resolve_graph(&self) -> Result<felix_graph::Graph, String> {
+        self.validate()?;
+        use felix_graph::models;
+        let p = &self.params;
+        Ok(match self.model.as_str() {
+            "llama" if p.len() == 6 => {
+                models::llama_with_config(p[0], p[1], p[2], p[3], p[4], p[5] as usize)
+            }
+            "llama" => models::llama(p[0]),
+            "resnet50" => models::resnet50(p[0]),
+            "mobilenet_v2" => models::mobilenet_v2(p[0]),
+            "r3d18" => models::r3d18(p[0]),
+            "dcgan" => models::dcgan(p[0]),
+            "vit_b32" => models::vit_b32(p[0]),
+            other => return Err(format!("unknown model {other:?}")),
+        })
+    }
+
+    /// Looks up the target device.
+    ///
+    /// # Errors
+    ///
+    /// Returns a client-facing message naming the known devices.
+    pub fn resolve_device(&self) -> Result<DeviceConfig, String> {
+        DeviceConfig::all()
+            .into_iter()
+            .find(|d| d.name == self.device)
+            .ok_or_else(|| {
+                let known: Vec<&str> =
+                    DeviceConfig::all().iter().map(|d| d.name).collect();
+                format!("unknown device {:?} (known: {})", self.device, known.join(", "))
+            })
+    }
+}

@@ -1,0 +1,305 @@
+//! Worker shards: the compute side of the daemon.
+//!
+//! Each shard owns the jobs whose id hashes to it (`job_id % n_shards`),
+//! holds one live [`Optimizer`] per active job, and advances them one
+//! tuning round at a time under a deterministic cross-tenant fairness
+//! policy. Jobs never share tuning state while running (stores are read
+//! at start and written at finalize only), so each job's result depends
+//! on its spec alone — never on how ticks interleave. That independence,
+//! plus per-round checkpoints and the WAL'd pending set, is why a shard
+//! killed at any instant finishes every job byte-identically after
+//! restart, whatever the scheduler did around the kill.
+//!
+//! ## Fairness
+//!
+//! Each scheduling step picks the *tenant* this shard has served the
+//! fewest rounds (ties break on tenant name), then that tenant's job
+//! with the highest marginal benefit per [`felix_ansor::job_priority`] —
+//! the same gradient-allocation yardstick the in-process task scheduler
+//! uses — with ties on the lower job id. A tenant with one job therefore
+//! waits at most `T − 1` rounds between its own rounds against `T`
+//! active tenants, however many jobs the others queued; and a shard
+//! whose whole queue is one job ticks it back-to-back, which is
+//! bit-identical to calling `optimize_all` once. The served counters are
+//! re-seeded from checkpointed progress on adoption, so a restarted
+//! shard keeps roughly the same balance it had at the kill.
+
+use crate::spec::JobSpec;
+use felix::cache::ScheduleCache;
+use felix::persist::STATE_FILE;
+use felix::{extract_subgraphs, pretrained_cost_model, FelixOptions, ModelQuality, Optimizer};
+use felix_ansor::{job_priority, network_latency};
+use felix_records::jobs::SubmittedJob;
+use felix_records::{write_document, JobRecord, Json};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// WAL filename under the data directory.
+pub const WAL_FILE: &str = "wal.jsonl";
+
+/// The per-job state directory (checkpoints + result document).
+pub fn job_dir(data_dir: &Path, job_id: u64) -> PathBuf {
+    data_dir.join("jobs").join(format!("{job_id:016x}"))
+}
+
+/// The finished-job result document path.
+pub fn result_path(data_dir: &Path, job_id: u64) -> PathBuf {
+    job_dir(data_dir, job_id).join("result.json")
+}
+
+/// The tenant's schedule-store file. The filename embeds an FNV-1a hash
+/// of the exact tenant string next to a readable sanitized prefix, so
+/// distinct tenants never share a file even when sanitization collides.
+pub fn store_path(data_dir: &Path, tenant: &str) -> PathBuf {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in tenant.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let prefix: String = tenant
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
+        .take(32)
+        .collect();
+    data_dir.join("schedules").join(format!("{prefix}-{h:016x}.jsonl"))
+}
+
+struct ActiveJob {
+    job_id: u64,
+    tenant: String,
+    spec: JobSpec,
+    opt: Optimizer,
+}
+
+/// What one scheduling step did.
+#[derive(Debug)]
+pub enum StepOutcome {
+    /// Ran one tuning round of this job.
+    Ticked(u64),
+    /// The job finished: its result document is durably on disk and this
+    /// completion record is ready for the WAL.
+    Finished(JobRecord),
+}
+
+/// One worker shard (see the module docs).
+pub struct Shard {
+    /// This shard's index in `0..n_shards`.
+    pub index: usize,
+    n_shards: usize,
+    data_dir: PathBuf,
+    active: Vec<ActiveJob>,
+    /// Rounds served per tenant, the fairness deficit. Counts finished
+    /// jobs too (a tenant can't reset its deficit by queueing one-round
+    /// jobs); re-seeded from checkpointed progress on adoption.
+    served: BTreeMap<String, usize>,
+}
+
+impl Shard {
+    /// A shard with no active jobs.
+    pub fn new(index: usize, n_shards: usize, data_dir: impl AsRef<Path>) -> Shard {
+        Shard {
+            index,
+            n_shards,
+            data_dir: data_dir.as_ref().to_path_buf(),
+            active: Vec::new(),
+            served: BTreeMap::new(),
+        }
+    }
+
+    /// Whether this shard is responsible for a job.
+    pub fn owns(&self, job_id: u64) -> bool {
+        job_id % self.n_shards as u64 == self.index as u64
+    }
+
+    /// Whether any adopted job is still running.
+    pub fn has_active(&self) -> bool {
+        !self.active.is_empty()
+    }
+
+    /// Takes responsibility for a pending job: builds (or, when a
+    /// checkpoint exists, resumes) its optimizer. Returns a completion
+    /// record immediately when the job needs no more rounds — a job
+    /// killed after its last round but before its completion line lands
+    /// here and re-finalizes, byte-identically — or when the job cannot
+    /// run at all (its error becomes the result, so a poisoned WAL line
+    /// can never wedge the queue).
+    pub fn adopt(&mut self, job: &SubmittedJob) -> Option<JobRecord> {
+        match self.try_adopt(job) {
+            Ok(done) => done,
+            Err(msg) => Some(self.finalize_error(job, &msg)),
+        }
+    }
+
+    fn try_adopt(&mut self, job: &SubmittedJob) -> Result<Option<JobRecord>, String> {
+        let spec = JobSpec::from_json(&job.spec)?;
+        let device = spec.resolve_device()?;
+        let graphs = extract_subgraphs(&spec.resolve_graph()?);
+        let options = FelixOptions {
+            n_seeds: spec.n_seeds,
+            n_steps: spec.n_steps,
+            threads: 1,
+            ..Default::default()
+        };
+        let dir = job_dir(&self.data_dir, job.job_id);
+        let opt = if dir.join(STATE_FILE).exists() {
+            Optimizer::resume_from_checkpoint(graphs, device, options, &dir)
+                .map_err(|e| format!("resume failed: {e}"))?
+        } else {
+            std::fs::create_dir_all(&dir).map_err(|e| format!("job dir: {e}"))?;
+            let model = pretrained_cost_model(&device, ModelQuality::Fast);
+            let mut opt = Optimizer::with_options(graphs, model, device, options);
+            if spec.warm_cache {
+                opt = opt
+                    .with_schedule_store_namespaced(
+                        ensure_store(&self.data_dir, &job.tenant)?,
+                        &job.tenant,
+                    )
+                    .map_err(|e| format!("schedule store: {e}"))?;
+            }
+            opt.with_checkpointing(&dir, 1)
+        };
+        let mut active =
+            ActiveJob { job_id: job.job_id, tenant: job.tenant.clone(), spec, opt };
+        *self.served.entry(active.tenant.clone()).or_insert(0) += active.opt.rounds_done();
+        if active.opt.rounds_done() >= active.spec.rounds {
+            return Ok(Some(self.finalize(&mut active)));
+        }
+        self.active.push(active);
+        Ok(None)
+    }
+
+    /// Runs one scheduling step: fairness-picks a job, ticks it one
+    /// round, finalizes it if that was its last. `None` when idle.
+    pub fn step(&mut self) -> Option<StepOutcome> {
+        let i = self.pick()?;
+        let job = &mut self.active[i];
+        job.opt.tick(job.spec.measures);
+        let tenant = job.tenant.clone();
+        *self.served.entry(tenant).or_insert(0) += 1;
+        let job = &mut self.active[i];
+        if job.opt.rounds_done() >= job.spec.rounds {
+            let mut job = self.active.remove(i);
+            let record = self.finalize(&mut job);
+            return Some(StepOutcome::Finished(record));
+        }
+        Some(StepOutcome::Ticked(self.active[i].job_id))
+    }
+
+    /// The fairness policy (see the module docs): least-served tenant
+    /// first, then highest [`job_priority`] within the tenant.
+    fn pick(&self) -> Option<usize> {
+        let mut tenant_rounds: BTreeMap<&str, usize> = BTreeMap::new();
+        for job in &self.active {
+            let served = self.served.get(job.tenant.as_str()).copied().unwrap_or(0);
+            tenant_rounds.entry(job.tenant.as_str()).or_insert(served);
+        }
+        // BTreeMap iterates tenants in name order, so the first minimum
+        // is the deterministic tie-break.
+        let (tenant, _) = tenant_rounds.iter().min_by_key(|(_, r)| **r)?;
+        let mut best: Option<(usize, f64)> = None;
+        for (i, job) in self.active.iter().enumerate() {
+            if job.tenant != *tenant {
+                continue;
+            }
+            let p = job_priority(job.opt.tasks());
+            // Strict `>` keeps the earliest (lowest-id) job on ties:
+            // `active` holds jobs in adoption order, which follows WAL
+            // submission order within a tenant.
+            if best.is_none_or(|(_, bp)| p > bp) {
+                best = Some((i, p));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Writes the job's result document atomically, publishes its
+    /// incumbents to the tenant's schedule store, and builds the
+    /// completion record. Deterministic in the optimizer state alone, so
+    /// re-finalizing after a crash reproduces the result byte for byte
+    /// (and re-publishing is a no-op on the store).
+    fn finalize(&self, job: &mut ActiveJob) -> JobRecord {
+        let latency_ms = network_latency(job.opt.tasks());
+        let result = result_document(job);
+        let path = result_path(&self.data_dir, job.job_id);
+        if let Err(e) = write_document(&path, &result) {
+            eprintln!("[felix-serve] result write to {} failed: {e}", path.display());
+        }
+        match ensure_store(&self.data_dir, &job.tenant)
+            .map_err(std::io::Error::other)
+            .and_then(ScheduleCache::open)
+        {
+            Ok(cache) => {
+                let mut cache = cache.with_namespace(&job.tenant);
+                cache.publish(job.opt.tasks(), &job.spec.device);
+            }
+            Err(e) => eprintln!("[felix-serve] schedule store publish failed: {e}"),
+        }
+        JobRecord::Completed {
+            job_id: job.job_id,
+            rounds: job.opt.rounds_done(),
+            latency_ms,
+            result,
+        }
+    }
+
+    /// An unrunnable job completes immediately with the error as its
+    /// result document.
+    fn finalize_error(&self, job: &SubmittedJob, message: &str) -> JobRecord {
+        let result = Json::obj(vec![("error", Json::Str(message.to_string()))]);
+        let dir = job_dir(&self.data_dir, job.job_id);
+        std::fs::create_dir_all(&dir).ok();
+        if let Err(e) = write_document(result_path(&self.data_dir, job.job_id), &result) {
+            eprintln!("[felix-serve] error-result write failed: {e}");
+        }
+        JobRecord::Completed {
+            job_id: job.job_id,
+            rounds: 0,
+            latency_ms: f64::INFINITY,
+            result,
+        }
+    }
+}
+
+fn ensure_store(data_dir: &Path, tenant: &str) -> Result<PathBuf, String> {
+    let path = store_path(data_dir, tenant);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("store dir: {e}"))?;
+    }
+    Ok(path)
+}
+
+/// The finished-job result document: end-to-end latency plus one entry
+/// per kernel, every float as an exact bit pattern. Built purely from the
+/// final task states, so two runs that end in the same state produce the
+/// same bytes.
+fn result_document(job: &ActiveJob) -> Json {
+    let kernels = job
+        .opt
+        .tasks()
+        .iter()
+        .map(|t| {
+            let (sketch, values) = match &t.best_schedule {
+                Some((sk, vals)) => (
+                    Json::Num(*sk as f64),
+                    Json::Arr(vals.iter().map(|&v| Json::f64_bits(v)).collect()),
+                ),
+                None => (Json::Null, Json::Null),
+            };
+            Json::obj(vec![
+                ("task", Json::Str(t.name.clone())),
+                ("weight", Json::Num(t.weight as f64)),
+                ("latency_ms", Json::f64_bits(t.best_latency_ms)),
+                ("sketch", sketch),
+                ("values", values),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("model", Json::Str(job.spec.model.clone())),
+        ("device", Json::Str(job.spec.device.clone())),
+        ("tenant", Json::Str(job.tenant.clone())),
+        ("rounds", Json::Num(job.opt.rounds_done() as f64)),
+        ("latency_ms", Json::f64_bits(network_latency(job.opt.tasks()))),
+        ("kernels", Json::Arr(kernels)),
+    ])
+}

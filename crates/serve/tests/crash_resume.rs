@@ -1,0 +1,230 @@
+//! Kill/chaos end-to-end test: SIGKILL the daemon mid-job at a
+//! seeded-random instant, restart it on the same data directory, and
+//! assert the final results are **byte-identical** to an uninterrupted
+//! run — and that the WAL replays to the same queue state.
+//!
+//! Unix-only (`Child::kill` must be an uncatchable SIGKILL for the chaos
+//! to mean anything) and skippable on constrained platforms with
+//! `FELIX_SKIP_CRASH_TESTS=1`, the same escape hatch pattern the bench
+//! smoke gates use.
+
+#![cfg(unix)]
+
+use felix_records::{read_job_records, Json, QueueState};
+use felix_serve::{Client, JobSpec};
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+const DEVICE: &str = "RTX A5000";
+const LLAMA_TINY: [i64; 6] = [1, 16, 128, 4, 344, 2];
+const ROUNDS: usize = 4;
+
+fn skip() -> bool {
+    if std::env::var("FELIX_SKIP_CRASH_TESTS").is_ok() {
+        eprintln!("FELIX_SKIP_CRASH_TESTS set; skipping");
+        return true;
+    }
+    false
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "felix-serve-crash-{}-{}-{tag}",
+        std::process::id(),
+        n
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawns `felix-served` on `data_dir` and parses the listening line
+    /// for the ephemeral port.
+    fn spawn(data_dir: &Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_felix-served"))
+            .args(["--data-dir"])
+            .arg(data_dir)
+            .args(["--addr", "127.0.0.1:0", "--shards", "1"])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn felix-served");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("listening line");
+        let addr = line
+            .trim()
+            .strip_prefix("felix-served listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match Client::connect(&self.addr) {
+                Ok(c) => return c,
+                Err(e) if Instant::now() < deadline => {
+                    eprintln!("connect retry: {e}");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => panic!("daemon never came up: {e}"),
+            }
+        }
+    }
+
+    /// SIGKILL — the process gets no chance to flush or clean up.
+    fn kill(mut self) {
+        self.child.kill().expect("kill daemon");
+        self.child.wait().expect("reap daemon");
+    }
+
+    fn shutdown(mut self) {
+        self.client().shutdown().expect("shutdown");
+        self.child.wait().expect("reap daemon");
+    }
+}
+
+fn submit_two_tenants(daemon: &Daemon) -> Vec<u64> {
+    let mut client = daemon.client();
+    client.ping().expect("ping");
+    let spec = JobSpec::quick("llama", LLAMA_TINY.to_vec(), DEVICE, ROUNDS);
+    vec![
+        client.submit("tenant-a", &spec).expect("submit a"),
+        client.submit("tenant-b", &spec).expect("submit b"),
+    ]
+}
+
+fn wait_all_done(daemon: &Daemon, jobs: &[u64]) {
+    let mut client = daemon.client();
+    for &job in jobs {
+        client.wait_done(job).expect("job result");
+    }
+}
+
+fn result_bytes(data_dir: &Path, jobs: &[u64]) -> Vec<Vec<u8>> {
+    jobs.iter()
+        .map(|&j| {
+            std::fs::read(felix_serve::result_path(data_dir, j))
+                .unwrap_or_else(|e| panic!("result for job {j}: {e}"))
+        })
+        .collect()
+}
+
+/// The reference run: same two jobs, never interrupted.
+fn uninterrupted_results(jobs_hint: &[u64]) -> Vec<Vec<u8>> {
+    let dir = tmp_dir("reference");
+    let daemon = Daemon::spawn(&dir);
+    let jobs = submit_two_tenants(&daemon);
+    assert_eq!(jobs, jobs_hint, "job ids must line up for the comparison");
+    wait_all_done(&daemon, &jobs);
+    daemon.shutdown();
+    result_bytes(&dir, &jobs)
+}
+
+#[test]
+fn sigkill_mid_job_then_restart_is_byte_identical() {
+    if skip() {
+        return;
+    }
+    let dir = tmp_dir("chaos");
+    let daemon = Daemon::spawn(&dir);
+    let jobs = submit_two_tenants(&daemon);
+
+    // Seeded-but-randomized kill point: the seed perturbs the delay so
+    // repeated CI runs sample different instants, while any failure
+    // prints the exact delay for replay.
+    let seed: u64 = std::env::var("FELIX_CRASH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::process::id() as u64);
+    let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    let delay_ms = 30 + h % 400;
+    eprintln!("killing daemon after {delay_ms}ms (FELIX_CRASH_SEED={seed})");
+    std::thread::sleep(Duration::from_millis(delay_ms));
+    daemon.kill();
+
+    // The WAL must replay cleanly right now, mid-flight: both submits
+    // durable (they were acked), nothing lost to the torn tail.
+    let mid = QueueState::replay(&read_job_records(dir.join("wal.jsonl")).expect("read wal"));
+    assert_eq!(mid.submitted.len(), 2, "acked submits lost in the crash");
+    for (&job, tenant) in jobs.iter().zip(["tenant-a", "tenant-b"]) {
+        let row = mid.job(job).expect("submitted job in replay");
+        assert_eq!(row.tenant, tenant);
+    }
+
+    // Restart on the same directory; unfinished jobs resume and finish.
+    let daemon = Daemon::spawn(&dir);
+    wait_all_done(&daemon, &jobs);
+    daemon.shutdown();
+
+    let crashed = result_bytes(&dir, &jobs);
+    let reference = uninterrupted_results(&jobs);
+    for ((job, crashed), reference) in jobs.iter().zip(&crashed).zip(&reference) {
+        assert_eq!(
+            crashed, reference,
+            "job {job} result diverged after SIGKILL + restart (FELIX_CRASH_SEED={seed})"
+        );
+    }
+
+    // And the final WAL replays to a complete, consistent queue: both
+    // jobs done with results matching the documents on disk byte-wise.
+    let queue = QueueState::replay(&read_job_records(dir.join("wal.jsonl")).expect("read wal"));
+    assert_eq!(queue.pending().len(), 0, "jobs left pending after completion");
+    for (&job, bytes) in jobs.iter().zip(&crashed) {
+        let done = queue.completed.get(&job).expect("completion record");
+        assert_eq!(done.rounds, ROUNDS);
+        let on_disk = Json::parse(std::str::from_utf8(bytes).unwrap()).unwrap();
+        assert_eq!(
+            done.result.write(),
+            on_disk.write(),
+            "WAL result for job {job} disagrees with the result document"
+        );
+    }
+}
+
+#[test]
+fn kill_storm_converges_to_the_same_bytes() {
+    if skip() {
+        return;
+    }
+    // Harsher chaos: kill and restart repeatedly with shrinking delays,
+    // then let the survivor finish. However many times the daemon dies,
+    // the results must equal the uninterrupted run's bytes.
+    let dir = tmp_dir("storm");
+    let daemon = Daemon::spawn(&dir);
+    let jobs = submit_two_tenants(&daemon);
+    daemon.kill(); // immediately: likely before any round completes
+
+    for delay_ms in [25u64, 75, 150] {
+        let daemon = Daemon::spawn(&dir);
+        std::thread::sleep(Duration::from_millis(delay_ms));
+        daemon.kill();
+    }
+
+    let daemon = Daemon::spawn(&dir);
+    wait_all_done(&daemon, &jobs);
+    // Status and listing survive the storm too.
+    let mut client = daemon.client();
+    let rows = client.list().expect("list");
+    assert_eq!(rows.len(), 2);
+    assert!(rows.iter().all(|r| r.state == "done"));
+    daemon.shutdown();
+
+    let stormed = result_bytes(&dir, &jobs);
+    let reference = uninterrupted_results(&jobs);
+    assert_eq!(stormed, reference, "kill storm changed the result bytes");
+}

@@ -226,6 +226,37 @@ pub fn total_flops(p: &Program) -> f64 {
         .sum()
 }
 
+/// Version tag of the sketch generator. Bump this string whenever sketch
+/// generation changes shape — new rules, renamed sketches, different
+/// variable counts or orderings — so persisted schedules tuned under the
+/// old generator are detected as stale instead of silently misapplied.
+pub const SKETCH_GENERATOR_VERSION: &str = "thread-bind+multi-level-tiling v1";
+
+/// FNV-1a hash of [`SKETCH_GENERATOR_VERSION`] plus the sketch rule names:
+/// the fingerprint a schedule store stamps on every entry. Two processes
+/// agree on the hash iff they run the same sketch generator, which is what
+/// makes a cached schedule's (sketch index, variable vector) meaningful.
+/// Never zero, so a store entry without a fingerprint (written before
+/// versioning existed) cannot masquerade as current.
+pub fn generator_hash() -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    mix(SKETCH_GENERATOR_VERSION.as_bytes());
+    mix(b"\x00");
+    mix(b"thread-bind");
+    mix(b"\x00");
+    mix(b"multi-level-tiling");
+    if h == 0 {
+        h = 1;
+    }
+    h
+}
+
 /// Generates the symbolic sketches for an initial (naive) program.
 ///
 /// Mirrors Ansor's sketch rules for GPU: every subgraph gets the thread-bind

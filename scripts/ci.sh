@@ -17,7 +17,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 BUDGET_S=60
 for crate in felix-egraph felix-expr felix-tir felix-graph felix-features \
              felix-sim felix-cost felix-records felix-ansor felix felix-bench \
-             felix-repro; do
+             felix-repro felix-serve; do
     start=$SECONDS
     cargo test -q -p "$crate" >/dev/null
     elapsed=$((SECONDS - start))
@@ -70,3 +70,20 @@ cargo test -q -p felix --test cache empty_schedule_store_is_bit_identical_at_eve
 cargo test -q -p felix --test cache warm_start_from_structural_near_miss_is_deterministic
 cargo test -q -p felix --test cache kill_and_resume_with_store_attached_stays_byte_identical
 TUNER_BENCH_SMOKE=1 FELIX_FAST=1 cargo run -q --release -p felix-bench --bin cache_bench
+
+# Stale-cache smoke: flip every stored schedule's sketch-generator
+# fingerprint on disk and re-attach — stale entries must be skipped and
+# counted (never served), and the re-tune must be bit-identical to a
+# storeless run.
+cargo test -q -p felix --test cache stale_generator_entries_are_clean_misses_and_retuned
+
+# Serve smoke: the tuning daemon end to end. Wire-protocol round-trips and
+# hostile-input rejection; cross-tenant fairness plus single-job
+# equivalence with the in-process optimize_all path; and the kill/chaos
+# harness — SIGKILL the daemon mid-job at a seeded-random instant, restart
+# on the same data directory, and byte-compare final results and WAL
+# replay against an uninterrupted run. Crash tests are Unix-only and
+# honor FELIX_SKIP_CRASH_TESTS=1 on platforms without SIGKILL semantics.
+cargo test -q -p felix-serve --test protocol
+cargo test -q -p felix-serve --test fairness
+cargo test -q -p felix-serve --test crash_resume
