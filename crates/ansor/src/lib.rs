@@ -591,6 +591,13 @@ pub struct TunerStats {
     /// sketch-generator version (stale fingerprint). Zero for every
     /// proposer round; reported by the cache layer.
     pub schedule_cache_stale: usize,
+    /// Sketch objectives served from a shared cross-task tape cache this
+    /// round (compiled-tape compiles skipped entirely).
+    pub tape_cache_hits: usize,
+    /// Shared tape-cache entries evicted as stale (built under a different
+    /// sketch-generator fingerprint) while building this round's
+    /// objectives.
+    pub tape_cache_stale: usize,
 }
 
 impl TunerStats {
@@ -636,6 +643,12 @@ impl TunerStats {
                 self.schedule_cache_hits,
                 self.schedule_cache_warm_starts,
                 self.schedule_cache_stale,
+            ));
+        }
+        if self.tape_cache_hits > 0 || self.tape_cache_stale > 0 {
+            line.push_str(&format!(
+                " tape-cache[hit {} stale {}]",
+                self.tape_cache_hits, self.tape_cache_stale,
             ));
         }
         line

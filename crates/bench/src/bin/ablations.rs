@@ -63,6 +63,7 @@ fn variants() -> Vec<Variant> {
 }
 
 fn main() {
+    felix_bench::out_dir_from_args();
     let scale = Scale::from_env();
     let dev = DeviceConfig::a5000();
     let model0 = cached_model(&dev, scale);

@@ -84,6 +84,7 @@ fn copy_store(store: &Path, tag: &str) -> PathBuf {
 }
 
 fn main() {
+    felix_bench::out_dir_from_args();
     let scale = Scale::from_env();
     let smoke = std::env::var("TUNER_BENCH_SMOKE").is_ok() || scale == Scale::Fast;
     let device = DeviceConfig::a5000();

@@ -11,6 +11,7 @@ use felix_bench::{
 use felix_sim::DeviceConfig;
 
 fn main() {
+    felix_bench::out_dir_from_args();
     let scale = Scale::from_env();
     let dev = DeviceConfig::a5000();
     let model = cached_model(&dev, scale);

@@ -7,6 +7,7 @@ use felix_expr::smooth::{smooth_relu, smooth_select};
 use felix_expr::{smooth_expr, CmpOp, ExprPool, VarTable};
 
 fn main() {
+    felix_bench::out_dir_from_args();
     // Build the exact Fig. 4 expressions symbolically and smooth them with
     // the production rewriter, then sample both paths.
     let mut vars = VarTable::new();

@@ -13,6 +13,7 @@ use felix_bench::{
 use felix_sim::DeviceConfig;
 
 fn main() {
+    felix_bench::out_dir_from_args();
     felix_bench::schedule_store_from_args();
     let scale = Scale::from_env();
     let mut rows = Vec::new();

@@ -44,6 +44,7 @@ impl PartialPoint for Vec<f64> {
 }
 
 fn main() {
+    felix_bench::out_dir_from_args();
     let scale = Scale::from_env();
     let dev = DeviceConfig::a5000();
     let model = cached_model(&dev, scale);

@@ -11,6 +11,7 @@ use felix_bench::plot::{render, Series};
 use felix_bench::{curves_from_csv, read_result};
 
 fn main() {
+    felix_bench::out_dir_from_args();
     let which = std::env::args().nth(1).unwrap_or_else(|| "fig7".into());
     let file = match which.as_str() {
         "fig10" => "fig10_batch16.csv",

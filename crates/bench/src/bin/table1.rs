@@ -11,6 +11,7 @@ use felix_sim::vendor::{vendor_network_latency, Vendor};
 use felix_sim::DeviceConfig;
 
 fn main() {
+    felix_bench::out_dir_from_args();
     let Some(csv) = read_result("fig7_batch1.csv") else {
         eprintln!("results/fig7_batch1.csv missing — run the fig7 binary first");
         std::process::exit(1);

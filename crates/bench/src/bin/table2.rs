@@ -5,6 +5,7 @@
 use felix_bench::{curves_from_csv, geomean, milestone_speedup, read_result, write_result};
 
 fn main() {
+    felix_bench::out_dir_from_args();
     let Some(csv) = read_result("fig7_batch1.csv") else {
         eprintln!("results/fig7_batch1.csv missing — run the fig7 binary first");
         std::process::exit(1);

@@ -84,11 +84,42 @@ impl Scale {
 }
 
 /// Directory for cached models and experiment outputs.
+///
+/// Defaults to the repository's `results/`; override with the `--out-dir
+/// <path>` flag (every harness binary parses it via [`out_dir_from_args`])
+/// or the `FELIX_BENCH_DIR` environment variable. The flag wins over the
+/// environment so a wrapper script can pin a per-run directory while CI
+/// sets a global one.
 pub fn results_dir() -> PathBuf {
-    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let root = OUT_DIR
+        .get()
+        .cloned()
+        .or_else(|| std::env::var("FELIX_BENCH_DIR").ok().map(PathBuf::from))
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+        });
     std::fs::create_dir_all(&root).expect("create results dir");
     root.canonicalize().expect("canonical results dir")
 }
+
+/// Selects the output directory for [`results_dir`] programmatically.
+/// First setter wins (same discipline as [`set_schedule_store`]).
+pub fn set_out_dir(path: impl Into<PathBuf>) {
+    let _ = OUT_DIR.set(path.into());
+}
+
+/// Parses `--out-dir <path>` from the process arguments; every harness
+/// binary calls this at the top of `main` so result files land in one
+/// configurable place.
+pub fn out_dir_from_args() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--out-dir") {
+        let path = args.get(i + 1).expect("--out-dir requires a path");
+        set_out_dir(path.clone());
+    }
+}
+
+static OUT_DIR: std::sync::OnceLock<PathBuf> = std::sync::OnceLock::new();
 
 /// Loads (or trains and caches) the pretrained cost model for a device.
 pub fn cached_model(device: &DeviceConfig, scale: Scale) -> Mlp {

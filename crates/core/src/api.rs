@@ -238,6 +238,23 @@ impl Optimizer {
         Ok(self)
     }
 
+    /// Attaches a shared cross-task tape cache
+    /// ([`crate::tape_cache::TapeCache`]): sketch-objective builds (the
+    /// smoothing → substitution → simplification → tape-compile pipeline,
+    /// by far the most expensive per-task setup step) first consult the
+    /// cache and share compiled tapes across structurally identical
+    /// sketches — across this optimizer's tasks and across every optimizer
+    /// holding a clone of the same `Arc` (the serving tier's worker
+    /// shards). Builds are deterministic in exactly the fingerprinted
+    /// inputs, so tuning results are bit-identical with or without the
+    /// cache; entries from a different sketch-generator fingerprint are
+    /// evicted as stale and rebuilt, never served.
+    #[must_use]
+    pub fn with_shared_tape_cache(mut self, cache: std::sync::Arc<crate::TapeCache>) -> Self {
+        self.proposer = self.proposer.with_shared_tape_cache(cache);
+        self
+    }
+
     /// Replaces the cost model with one pretrained elsewhere — typically a
     /// transfer model from [`felix_cost::pretrain_transfer`] over other
     /// tasks' record logs. Purely a different starting point for the same

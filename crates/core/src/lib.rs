@@ -44,6 +44,7 @@ pub mod health;
 pub mod objective;
 pub mod parallel;
 pub mod persist;
+pub mod tape_cache;
 
 pub use api::{
     extract_subgraphs, pretrained_cost_model, CompiledModule, ModelQuality, Optimizer,
@@ -51,5 +52,6 @@ pub use api::{
 pub use cache::{structure_hash, CacheOutcome, ScheduleCache};
 pub use health::SupervisorOptions;
 pub use persist::{replay_records, CheckpointState, RecordLogSink};
+pub use tape_cache::{TapeCache, TapeCacheStats};
 pub use gd::{FelixOptions, GradientProposer};
 pub use objective::{EvalScratch, SketchObjective};

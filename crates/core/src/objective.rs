@@ -116,6 +116,13 @@ pub struct EvalScratch {
     seeds: Vec<f64>,
     /// Per-variable gradients, variable-major.
     grad: Vec<f64>,
+    /// Per-lane penalty accumulators for the batched penalty pass.
+    pen_acc: Vec<f64>,
+    /// Per-lane penalty-root finiteness flags for the batched penalty pass.
+    pen_fin: Vec<bool>,
+    /// Per-lane feature-root finiteness accumulators for the batched
+    /// feature pass (`Σ v·0.0` — ends `±0.0` iff every feature is finite).
+    feat_fin: Vec<f64>,
     /// Lanes in the current batch.
     batch: usize,
 }
@@ -381,14 +388,69 @@ impl SketchObjective {
     /// supervisor's per-step feature-root NaN/Inf detection costs no extra
     /// pass over the tape.
     pub fn write_feats(&self, scratch: &EvalScratch, lane: usize, out: &mut Vec<f64>) -> bool {
+        let b = scratch.batch;
         out.clear();
-        let mut finite = true;
-        for k in 0..self.log_feat_roots.len() {
-            let v = self.tape.root_value(&scratch.vals, scratch.batch, k, lane);
-            finite &= v.is_finite();
-            out.push(v);
+        // The exact-size `Map<Range>` extend skips per-push capacity checks,
+        // and checking finiteness as a second pass over the (contiguous,
+        // 50-element) output row vectorizes where the fused check could not.
+        out.extend(
+            (0..self.log_feat_roots.len()).map(|k| self.tape.root_value(&scratch.vals, b, k, lane)),
+        );
+        out.iter().all(|v| v.is_finite())
+    }
+
+    /// Transposed form of [`SketchObjective::write_feats`] over every lane
+    /// at once, into a feature-major destination: lane `l`'s feature `k`
+    /// lands in `dst_t[k * n_total + cols[l]]`. Feature roots run outer and
+    /// lanes inner, so the tape-value reads are contiguous rows — and when
+    /// `cols` is a contiguous ascending run, each root row is one straight
+    /// block copy. The layout matches the batched MLP kernels' internal
+    /// feature-major activations, so the cost-model call consumes `dst_t`
+    /// with no reshaping (see `Mlp::input_gradient_batch_cols`).
+    /// `finite(lane, ok)` reports each lane's feature finiteness verdict.
+    /// Writes the same values — and returns the same verdicts — as calling
+    /// `write_feats` per lane.
+    pub fn write_feats_cols(
+        &self,
+        scratch: &mut EvalScratch,
+        cols: &[usize],
+        n_total: usize,
+        dst_t: &mut [f64],
+        mut finite: impl FnMut(usize, bool),
+    ) {
+        let b = scratch.batch;
+        let nf = self.log_feat_roots.len();
+        assert_eq!(cols.len(), b, "one destination column per lane");
+        assert!(dst_t.len() >= nf * n_total, "feature-major buffer too small");
+        let contiguous = cols.windows(2).all(|w| w[1] == w[0] + 1)
+            && cols.first().is_none_or(|&c| c + b <= n_total);
+        let EvalScratch { vals, feat_fin, .. } = scratch;
+        feat_fin.clear();
+        feat_fin.resize(b, 0.0);
+        for k in 0..nf {
+            let vrow = self.tape.root_row(vals, b, k);
+            // `v * 0.0` is `±0.0` exactly when `v` is finite and NaN
+            // otherwise (`Inf·0` and `NaN·0` are both NaN), so the per-lane
+            // accumulator ends at `±0.0` iff every feature was finite —
+            // a pure f64 sweep that vectorizes with the copy, equivalent
+            // to `is_finite` on every element.
+            if contiguous {
+                let c0 = cols.first().copied().unwrap_or(0);
+                let dst = &mut dst_t[k * n_total + c0..k * n_total + c0 + b];
+                for ((d, &v), acc) in dst.iter_mut().zip(vrow).zip(feat_fin.iter_mut()) {
+                    *d = v;
+                    *acc += v * 0.0;
+                }
+            } else {
+                for ((&v, &c), acc) in vrow.iter().zip(cols).zip(feat_fin.iter_mut()) {
+                    dst_t[k * n_total + c] = v;
+                    *acc += v * 0.0;
+                }
+            }
         }
-        finite
+        for (lane, &acc) in feat_fin.iter().enumerate() {
+            finite(lane, acc == 0.0);
+        }
     }
 
     /// Seeds `lane`'s adjoints from the MLP's input gradient plus the
@@ -408,27 +470,142 @@ impl SketchObjective {
         dscore: &[f64],
         lambda: f64,
     ) -> (f64, bool) {
+        self.seed_feats_lane(scratch, lane, dscore);
         let b = scratch.batch;
         let n_feats = self.log_feat_roots.len();
-        for (k, &d) in dscore.iter().enumerate() {
-            scratch.seeds[k * b + lane] = -d;
-        }
         let mut penalty = 0.0;
         let mut finite = true;
-        for j in 0..self.penalty_roots.len() {
-            let raw = self.tape.root_value(&scratch.vals, b, n_feats + j, lane);
+        let EvalScratch { vals, seeds, .. } = scratch;
+        let pen_col = seeds[n_feats * b + lane..].iter_mut().step_by(b);
+        for (j, s) in pen_col.take(self.penalty_roots.len()).enumerate() {
+            let raw = self.tape.root_value(vals, b, n_feats + j, lane);
             finite &= raw.is_finite();
             // Clamped identically to the pool oracle so the two paths stay
             // bitwise equal; see [`PENALTY_CLAMP`].
             let gv = raw.min(PENALTY_CLAMP);
             if gv > 0.0 {
                 penalty += lambda * gv * gv;
-                scratch.seeds[(n_feats + j) * b + lane] = lambda * 2.0 * gv;
+                *s = lambda * 2.0 * gv;
             } else {
-                scratch.seeds[(n_feats + j) * b + lane] = 0.0;
+                *s = 0.0;
             }
         }
         (penalty, finite)
+    }
+
+    /// The feature half of [`SketchObjective::seed_lane`]: writes `lane`'s
+    /// MLP input gradient (negated — the objective maximizes score) into
+    /// the feature-root seed block. The strided writes walk the lane column
+    /// as a `step_by` iterator, which elides per-write bounds checks.
+    pub fn seed_feats_lane(&self, scratch: &mut EvalScratch, lane: usize, dscore: &[f64]) {
+        let b = scratch.batch;
+        for (s, &d) in scratch.seeds[lane..].iter_mut().step_by(b).zip(dscore) {
+            *s = -d;
+        }
+    }
+
+    /// Transposed form of [`SketchObjective::seed_feats_lane`] over every
+    /// lane at once: feature roots outer, lanes inner, so the seed writes
+    /// are contiguous rows instead of per-lane strided columns. `row_of`
+    /// returns each lane's MLP input gradient (`n_feats` long). Writes the
+    /// same values as calling `seed_feats_lane` per lane.
+    pub fn seed_feats_all<'a>(
+        &self,
+        scratch: &mut EvalScratch,
+        row_of: impl Fn(usize) -> &'a [f64],
+    ) {
+        let b = scratch.batch;
+        let nf = self.log_feat_roots.len();
+        for lane in 0..b {
+            assert_eq!(row_of(lane).len(), nf, "dscore row length mismatch");
+        }
+        for (k, srow) in scratch.seeds[..nf * b].chunks_exact_mut(b).enumerate() {
+            for (lane, s) in srow.iter_mut().enumerate() {
+                // SAFETY: every row's length was checked `== nf` above and
+                // `k < nf` by the chunk count.
+                *s = -unsafe { *row_of(lane).get_unchecked(k) };
+            }
+        }
+    }
+
+    /// [`SketchObjective::seed_feats_all`] from a feature-major gradient
+    /// buffer (`src_t[k * n_total + cols[lane]]`, the layout
+    /// [`felix_cost::Mlp::input_gradient_batch_cols`] emits): feature roots
+    /// outer, lanes inner, so when `cols` is a contiguous run both the
+    /// source reads and the seed writes are pure row sweeps — no strided
+    /// access on either side. Writes the same values as `seed_feats_lane`
+    /// per lane.
+    pub fn seed_feats_cols(
+        &self,
+        scratch: &mut EvalScratch,
+        cols: &[usize],
+        n_total: usize,
+        src_t: &[f64],
+    ) {
+        let b = scratch.batch;
+        let nf = self.log_feat_roots.len();
+        assert_eq!(cols.len(), b, "one source column per lane");
+        assert!(src_t.len() >= nf * n_total, "feature-major gradient buffer too small");
+        let contiguous = cols.windows(2).all(|w| w[1] == w[0] + 1)
+            && cols.first().is_none_or(|&c| c + b <= n_total);
+        for (k, srow) in scratch.seeds[..nf * b].chunks_exact_mut(b).enumerate() {
+            if contiguous {
+                let c0 = cols.first().copied().unwrap_or(0);
+                let grow = &src_t[k * n_total + c0..k * n_total + c0 + b];
+                for (s, &g) in srow.iter_mut().zip(grow) {
+                    *s = -g;
+                }
+            } else {
+                for (s, &c) in srow.iter_mut().zip(cols) {
+                    *s = -src_t[k * n_total + c];
+                }
+            }
+        }
+    }
+
+    /// The penalty half of [`SketchObjective::seed_lane`], batched over
+    /// every lane at once: one pass over the penalty roots with roots outer
+    /// and lanes inner, so both the tape-value reads and the seed writes
+    /// are contiguous rows instead of per-lane strided columns. Calls
+    /// `sink(lane, penalty, finite)` for each lane.
+    ///
+    /// Per lane this performs exactly the operations of
+    /// [`SketchObjective::seed_lane`]'s penalty loop in the same root
+    /// order, so penalties, seeds, and finiteness verdicts are
+    /// bit-identical to the per-lane path.
+    pub fn seed_penalties_all(
+        &self,
+        scratch: &mut EvalScratch,
+        lambda: f64,
+        mut sink: impl FnMut(usize, f64, bool),
+    ) {
+        let b = scratch.batch;
+        let n_feats = self.log_feat_roots.len();
+        let EvalScratch { vals, seeds, pen_acc, pen_fin, .. } = scratch;
+        pen_acc.clear();
+        pen_acc.resize(b, 0.0);
+        pen_fin.clear();
+        pen_fin.resize(b, true);
+        for j in 0..self.penalty_roots.len() {
+            let vrow = self.tape.root_row(vals, b, n_feats + j);
+            let srow = &mut seeds[(n_feats + j) * b..(n_feats + j + 1) * b];
+            let lanes = vrow.iter().zip(srow).zip(pen_acc.iter_mut().zip(pen_fin.iter_mut()));
+            for ((&raw, s), (acc, fin)) in lanes {
+                *fin &= raw.is_finite();
+                // Clamped identically to the pool oracle; see
+                // [`PENALTY_CLAMP`].
+                let gv = raw.min(PENALTY_CLAMP);
+                if gv > 0.0 {
+                    *acc += lambda * gv * gv;
+                    *s = lambda * 2.0 * gv;
+                } else {
+                    *s = 0.0;
+                }
+            }
+        }
+        for lane in 0..b {
+            sink(lane, pen_acc[lane], pen_fin[lane]);
+        }
     }
 
     /// True when every tape root (features *and* penalties) of `lane` is

@@ -102,6 +102,23 @@ fn layer_dims() -> Vec<(usize, usize)> {
     LAYER_SIZES.windows(2).map(|w| (w[1], w[0])).collect()
 }
 
+/// Reusable flat buffers for the batched MLP kernels, so the descent hot
+/// loop runs one `input_gradient` batch per step without allocating.
+///
+/// All buffers are feature-major ("transposed"): `acts_t[layer][i * n + s]`
+/// for batch size `n`. Create once, pass to
+/// [`Mlp::input_gradient_batch_flat`] every step; buffers grow to the
+/// high-water mark and stay there.
+#[derive(Clone, Debug, Default)]
+pub struct MlpScratch {
+    /// Post-activation values per layer (layer 0 = normalized inputs).
+    acts_t: Vec<Vec<f32>>,
+    /// Current backward gradient, `[out_dim * n]` for the layer in flight.
+    grad_t: Vec<f32>,
+    /// Next layer's input gradient being accumulated, `[in_dim * n]`.
+    gin_t: Vec<f32>,
+}
+
 impl Mlp {
     /// A randomly initialized model (He initialization).
     pub fn new(rng: &mut impl Rng) -> Self {
@@ -180,126 +197,308 @@ impl Mlp {
         self.forward_cached(&x).1
     }
 
-    /// Batched forward pass caching activations, layer-major so every
-    /// weight row is traversed once per layer for the whole batch.
+    /// Batched forward pass over flat, feature-major ("transposed")
+    /// activation buffers: `scratch.acts_t[layer][i * n + s]`. One weight
+    /// traversal per layer for the whole batch, with output rows register-
+    /// blocked four at a time so each input column load feeds four
+    /// accumulator rows and the weight tile stays L1/L2-resident across
+    /// the seed batch.
     ///
     /// Each sample's accumulation runs in exactly the order of
-    /// [`Mlp::forward_cached`], so every row of the result is bit-identical
-    /// to the scalar path — batching buys weight-row locality, never a
-    /// different answer. The tuner's serial/parallel equivalence guarantee
-    /// rests on this.
+    /// [`Mlp::forward_cached`] — bias first, then ascending input index,
+    /// one sequential chain per `(row, sample)` — so every result is
+    /// bit-identical to the scalar path. Row blocking never reassociates a
+    /// sum (the four rows have independent accumulators); batching buys
+    /// locality, never a different answer. The tuner's serial/parallel
+    /// equivalence guarantee rests on this.
     ///
-    /// Returns `acts[layer][sample]` activations and the per-sample scores.
-    fn forward_batch_cached(&self, xs: &[Vec<f32>]) -> (Vec<Vec<Vec<f32>>>, Vec<f64>) {
-        let n = xs.len();
+    /// Fills `scratch.acts_t` (layer 0 = normalized inputs) and returns
+    /// the per-sample scores in `scores`.
+    fn forward_batch_t(
+        &self,
+        logfeats: &[Vec<f64>],
+        scratch: &mut MlpScratch,
+        scores: &mut Vec<f64>,
+    ) {
+        let n = logfeats.len();
         let n_layers = self.w.len();
-        let mut acts: Vec<Vec<Vec<f32>>> = vec![xs.to_vec()];
-        // Feature-major ("transposed") working set: cur[i][s]. The hot loop
-        // then runs across samples — independent accumulator chains whose
-        // per-sample addition order is exactly the scalar path's, so SIMD
-        // lanes never reassociate any sample's sum.
-        let in_dim0 = xs.first().map_or(0, Vec::len);
-        let mut cur: Vec<Vec<f32>> = (0..in_dim0)
-            .map(|i| xs.iter().map(|x| x[i]).collect())
-            .collect();
+        scratch.acts_t.resize_with(n_layers + 1, Vec::new);
+        let x0 = &mut scratch.acts_t[0];
+        x0.clear();
+        x0.resize(FEATURE_COUNT * n, 0.0);
+        for (s, f) in logfeats.iter().enumerate() {
+            assert_eq!(f.len(), FEATURE_COUNT, "feature vector length");
+            for (i, &x) in f.iter().enumerate() {
+                x0[i * n + s] = (x as f32 - self.input_mean[i]) / self.input_std[i];
+            }
+        }
+        self.forward_layers(n, scratch, scores);
+    }
+
+    /// [`Mlp::forward_batch_t`] over one flat feature-major buffer
+    /// (`feats_t[k * n + s]`, as produced by the descent loop's transposed
+    /// feature-extraction pass) — identical math, but the layout already
+    /// matches the internal activations, so the layer-0 fill is one
+    /// contiguous normalize pass with no transposition at all.
+    fn forward_batch_cols(
+        &self,
+        feats_t: &[f64],
+        n: usize,
+        scratch: &mut MlpScratch,
+        scores: &mut Vec<f64>,
+    ) {
+        assert_eq!(feats_t.len(), FEATURE_COUNT * n, "feature buffer length");
+        let n_layers = self.w.len();
+        scratch.acts_t.resize_with(n_layers + 1, Vec::new);
+        let x0 = &mut scratch.acts_t[0];
+        x0.clear();
+        x0.resize(FEATURE_COUNT * n, 0.0);
+        for (i, (row, dst)) in
+            feats_t.chunks_exact(n).zip(x0.chunks_exact_mut(n)).enumerate()
+        {
+            let (m, sd) = (self.input_mean[i], self.input_std[i]);
+            for (d, &x) in dst.iter_mut().zip(row) {
+                *d = (x as f32 - m) / sd;
+            }
+        }
+        self.forward_layers(n, scratch, scores);
+    }
+
+    /// The layer sweeps shared by both batched forward entry points;
+    /// assumes `scratch.acts_t[0]` holds the normalized inputs.
+    fn forward_layers(&self, n: usize, scratch: &mut MlpScratch, scores: &mut Vec<f64>) {
+        let n_layers = self.w.len();
         for (li, (w, b)) in self.w.iter().zip(&self.b).enumerate() {
             let out_dim = b.len();
-            let in_dim = cur.len();
-            let mut next: Vec<Vec<f32>> = Vec::with_capacity(out_dim);
-            for o in 0..out_dim {
-                let row = &w[o * in_dim..(o + 1) * in_dim];
-                let mut accs = vec![b[o]; n];
-                for (r, col) in row.iter().zip(&cur) {
-                    for (a, x) in accs.iter_mut().zip(col) {
-                        *a += r * x;
+            let in_dim = w.len() / out_dim;
+            let relu = li + 1 < n_layers;
+            let (head, tail) = scratch.acts_t.split_at_mut(li + 1);
+            let inp = &head[li];
+            let out = &mut tail[0];
+            debug_assert_eq!(inp.len(), in_dim * n);
+            out.clear();
+            out.resize(out_dim * n, 0.0);
+            let mut o = 0;
+            // Four-row register block: one input column load feeds four
+            // independent accumulator rows.
+            while o + 4 <= out_dim {
+                let block = &mut out[o * n..(o + 4) * n];
+                let (y0, rest) = block.split_at_mut(n);
+                let (y1, rest) = rest.split_at_mut(n);
+                let (y2, y3) = rest.split_at_mut(n);
+                y0.fill(b[o]);
+                y1.fill(b[o + 1]);
+                y2.fill(b[o + 2]);
+                y3.fill(b[o + 3]);
+                for i in 0..in_dim {
+                    let col = &inp[i * n..(i + 1) * n];
+                    let c0 = w[o * in_dim + i];
+                    let c1 = w[(o + 1) * in_dim + i];
+                    let c2 = w[(o + 2) * in_dim + i];
+                    let c3 = w[(o + 3) * in_dim + i];
+                    for (s, &x) in col.iter().enumerate() {
+                        y0[s] += c0 * x;
+                        y1[s] += c1 * x;
+                        y2[s] += c2 * x;
+                        y3[s] += c3 * x;
                     }
                 }
-                if li + 1 < n_layers {
-                    for a in &mut accs {
-                        *a = a.max(0.0);
+                if relu {
+                    for y in block.iter_mut() {
+                        *y = y.max(0.0);
                     }
                 }
-                next.push(accs);
+                o += 4;
             }
-            // The backward pass wants sample-major activations.
-            acts.push((0..n).map(|s| next.iter().map(|col| col[s]).collect()).collect());
-            cur = next;
+            while o < out_dim {
+                let y = &mut out[o * n..(o + 1) * n];
+                y.fill(b[o]);
+                for i in 0..in_dim {
+                    let col = &inp[i * n..(i + 1) * n];
+                    let c = w[o * in_dim + i];
+                    for (s, &x) in col.iter().enumerate() {
+                        y[s] += c * x;
+                    }
+                }
+                if relu {
+                    for v in y.iter_mut() {
+                        *v = v.max(0.0);
+                    }
+                }
+                o += 1;
+            }
         }
-        let scores = acts
-            .last()
-            .expect("output")
-            .iter()
-            .map(|o| o[0] as f64)
-            .collect();
-        (acts, scores)
+        let last = scratch.acts_t.last().expect("output layer");
+        scores.clear();
+        scores.extend(last[..n].iter().map(|&v| v as f64));
     }
 
     /// Batch prediction via one weight traversal per layer; row `i` is
     /// bit-identical to `predict(&logfeats[i])`.
     pub fn predict_batch(&self, logfeats: &[Vec<f64>]) -> Vec<f64> {
-        let xs: Vec<Vec<f32>> = logfeats.iter().map(|x| self.normalize(x)).collect();
-        self.forward_batch_cached(&xs).1
+        let mut scratch = MlpScratch::default();
+        let mut scores = Vec::new();
+        self.forward_batch_t(logfeats, &mut scratch, &mut scores);
+        scores
     }
 
-    /// Batched [`Mlp::input_gradient`]: scores and input gradients for a
-    /// whole batch with one weight traversal per layer in each direction.
-    /// Row `i` is bit-identical to `input_gradient(&logfeats[i])`.
-    pub fn input_gradient_batch(&self, logfeats: &[Vec<f64>]) -> Vec<(f64, Vec<f64>)> {
+    /// Batched [`Mlp::input_gradient`] over reusable flat buffers: one
+    /// weight traversal per layer in each direction, four-row register
+    /// blocks in both sweeps. Fills `scores` (per sample) and `grads`
+    /// (sample-major, `FEATURE_COUNT` per sample). Sample `i` is
+    /// bit-identical to `input_gradient(&logfeats[i])`: the backward
+    /// accumulation per `(input, sample)` runs over ascending output rows
+    /// as one sequential chain, and a zero-gated contribution adds `±0.0`,
+    /// which cannot flip any accumulator bit (accumulators start at `+0.0`
+    /// and finite additions never yield `-0.0`), so the reference's ReLU
+    /// skip is unnecessary and the inner loops stay pure sweeps across
+    /// samples.
+    pub fn input_gradient_batch_flat(
+        &self,
+        logfeats: &[Vec<f64>],
+        scratch: &mut MlpScratch,
+        scores: &mut Vec<f64>,
+        grads: &mut Vec<f64>,
+    ) {
         let n = logfeats.len();
+        scores.clear();
+        grads.clear();
         if n == 0 {
-            return Vec::new();
+            return;
         }
-        let xs: Vec<Vec<f32>> = logfeats.iter().map(|x| self.normalize(x)).collect();
-        let (acts, scores) = self.forward_batch_cached(&xs);
+        self.forward_batch_t(logfeats, scratch, scores);
+        self.backward_input_gradients(n, scratch);
+        let gfinal = &scratch.grad_t;
+        debug_assert_eq!(gfinal.len(), FEATURE_COUNT * n);
+        grads.resize(FEATURE_COUNT * n, 0.0);
+        for s in 0..n {
+            for k in 0..FEATURE_COUNT {
+                // Undo normalization in f32 (as the scalar path does),
+                // then widen.
+                grads[s * FEATURE_COUNT + k] =
+                    (gfinal[k * n + s] / self.input_std[k]) as f64;
+            }
+        }
+    }
+
+    /// [`Mlp::input_gradient_batch_flat`] over one flat feature-major
+    /// buffer (`feats_t[k * n + s]`); sample `s` is bit-identical to
+    /// `input_gradient` on the same sample's feature column. Output
+    /// `grads_t` is feature-major too (`grads_t[k * n + s]`), matching the
+    /// backward sweep's internal layout so extraction is a pure contiguous
+    /// rescale — consumers that seed gradient tapes row-by-root read it
+    /// without a transpose.
+    pub fn input_gradient_batch_cols(
+        &self,
+        feats_t: &[f64],
+        n: usize,
+        scratch: &mut MlpScratch,
+        scores: &mut Vec<f64>,
+        grads_t: &mut Vec<f64>,
+    ) {
+        scores.clear();
+        grads_t.clear();
+        if n == 0 {
+            return;
+        }
+        self.forward_batch_cols(feats_t, n, scratch, scores);
+        self.backward_input_gradients(n, scratch);
+        let gfinal = &scratch.grad_t;
+        debug_assert_eq!(gfinal.len(), FEATURE_COUNT * n);
+        grads_t.resize(FEATURE_COUNT * n, 0.0);
+        for (k, (row, src)) in grads_t.chunks_exact_mut(n).zip(gfinal.chunks_exact(n)).enumerate() {
+            let sd = self.input_std[k];
+            for (d, &gv) in row.iter_mut().zip(src) {
+                // Undo normalization in f32 (as the scalar path does), then
+                // widen — same per-element math as the sample-major form.
+                *d = (gv / sd) as f64;
+            }
+        }
+    }
+
+    /// The reverse sweeps shared by both batched gradient entry points;
+    /// assumes a forward pass has filled `scratch.acts_t`. Leaves the raw
+    /// feature-major input gradients (pre-normalization-unscale, `f32`) in
+    /// `scratch.grad_t`; each entry point extracts into its own layout.
+    fn backward_input_gradients(&self, n: usize, scratch: &mut MlpScratch) {
         let n_layers = self.w.len();
-        let mut grads: Vec<Vec<f32>> = vec![vec![1.0f32]; n];
+        // d(score)/d(out) = 1 for the single output unit.
+        let g = &mut scratch.grad_t;
+        g.clear();
+        g.resize(n, 1.0);
         for li in (0..n_layers).rev() {
-            let inp = &acts[li];
-            let out = &acts[li + 1];
-            let in_dim = inp.first().map_or(0, Vec::len);
-            let out_dim = out.first().map_or(0, Vec::len);
+            let out_t = &scratch.acts_t[li + 1];
             let w = &self.w[li];
-            // Output-major ("transposed") gated gradients: gated_t[o][s].
-            let gated_t: Vec<Vec<f32>> = (0..out_dim)
-                .map(|o| {
-                    (0..n)
-                        .map(|s| {
-                            if li + 1 == n_layers || out[s][o] > 0.0 {
-                                grads[s][o]
-                            } else {
-                                0.0
-                            }
-                        })
-                        .collect()
-                })
-                .collect();
-            // gin_t[i][s] += gated_t[o][s] · w[o][i] with o outermost, so each
-            // sample's accumulation order matches the scalar backward exactly.
-            // A zero-gated contribution adds ±0.0, which cannot flip any
-            // accumulator bit (accumulators start at +0.0 and finite additions
-            // never yield -0.0), so the ReLU skip is unnecessary and the inner
-            // loop stays a pure SIMD-friendly sweep across samples.
-            let mut gin_t = vec![vec![0.0f32; n]; in_dim];
-            for (o, gcol) in gated_t.iter().enumerate() {
-                let row = &w[o * in_dim..(o + 1) * in_dim];
-                for (r, gi_col) in row.iter().zip(gin_t.iter_mut()) {
-                    for (gi, g) in gi_col.iter_mut().zip(gcol) {
-                        *gi += g * r;
+            let out_dim = self.b[li].len();
+            let in_dim = w.len() / out_dim;
+            // ReLU gate in place: hidden activations are stored post-ReLU,
+            // so `act > 0` is the derivative gate (a NaN activation gates
+            // to zero too, via the explicit `is_nan` arm). The final layer
+            // is linear and passes through.
+            let g = &mut scratch.grad_t;
+            debug_assert_eq!(g.len(), out_dim * n);
+            if li + 1 < n_layers {
+                for (gv, &a) in g.iter_mut().zip(out_t.iter()) {
+                    if a <= 0.0 || a.is_nan() {
+                        *gv = 0.0;
                     }
                 }
             }
-            grads = (0..n).map(|s| gin_t.iter().map(|col| col[s]).collect()).collect();
+            let gin = &mut scratch.gin_t;
+            gin.clear();
+            gin.resize(in_dim * n, 0.0);
+            let mut o = 0;
+            while o + 4 <= out_dim {
+                let g0 = &g[o * n..(o + 1) * n];
+                let g1 = &g[(o + 1) * n..(o + 2) * n];
+                let g2 = &g[(o + 2) * n..(o + 3) * n];
+                let g3 = &g[(o + 3) * n..(o + 4) * n];
+                for i in 0..in_dim {
+                    let c0 = w[o * in_dim + i];
+                    let c1 = w[(o + 1) * in_dim + i];
+                    let c2 = w[(o + 2) * in_dim + i];
+                    let c3 = w[(o + 3) * in_dim + i];
+                    let dst = &mut gin[i * n..(i + 1) * n];
+                    for (s, d) in dst.iter_mut().enumerate() {
+                        // Four sequential adds, ascending `o` — the same
+                        // order as four separate output-row passes.
+                        let mut acc = *d;
+                        acc += g0[s] * c0;
+                        acc += g1[s] * c1;
+                        acc += g2[s] * c2;
+                        acc += g3[s] * c3;
+                        *d = acc;
+                    }
+                }
+                o += 4;
+            }
+            while o < out_dim {
+                let gr = &g[o * n..(o + 1) * n];
+                for i in 0..in_dim {
+                    let c = w[o * in_dim + i];
+                    let dst = &mut gin[i * n..(i + 1) * n];
+                    for (s, d) in dst.iter_mut().enumerate() {
+                        *d += gr[s] * c;
+                    }
+                }
+                o += 1;
+            }
+            std::mem::swap(&mut scratch.grad_t, &mut scratch.gin_t);
         }
+    }
+
+    /// Allocating wrapper around [`Mlp::input_gradient_batch_flat`]; row
+    /// `i` is bit-identical to `input_gradient(&logfeats[i])`.
+    pub fn input_gradient_batch(&self, logfeats: &[Vec<f64>]) -> Vec<(f64, Vec<f64>)> {
+        let mut scratch = MlpScratch::default();
+        let mut scores = Vec::new();
+        let mut grads = Vec::new();
+        self.input_gradient_batch_flat(logfeats, &mut scratch, &mut scores, &mut grads);
         scores
             .into_iter()
-            .zip(grads)
-            .map(|(score, grad)| {
-                let g = grad
-                    .iter()
-                    .enumerate()
-                    .map(|(k, &v)| (v / self.input_std[k]) as f64)
-                    .collect();
-                (score, g)
+            .enumerate()
+            .map(|(s, score)| {
+                (score, grads[s * FEATURE_COUNT..(s + 1) * FEATURE_COUNT].to_vec())
             })
             .collect()
     }
@@ -745,6 +944,82 @@ mod tests {
             assert_eq!(grads[i].1.len(), gg.len());
             for (k, (a, b)) in grads[i].1.iter().zip(&gg).enumerate() {
                 assert_eq!(a.to_bits(), b.to_bits(), "row {i} grad[{k}]");
+            }
+        }
+    }
+
+    #[test]
+    fn mlp_scratch_reuse_across_batch_sizes_is_bit_identical() {
+        // The descent loop reuses one `MlpScratch` across steps whose
+        // batch size can shrink (poisoned seeds drop out) or grow
+        // (warm-start rounds). Stale high-water-mark data must never leak
+        // into a later, smaller batch.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mlp = Mlp::new(&mut rng);
+        let mut scratch = MlpScratch::default();
+        let mut scores = Vec::new();
+        let mut grads = Vec::new();
+        for &n in &[5usize, 3, 8, 1] {
+            let batch: Vec<Vec<f64>> = (0..n)
+                .map(|s| {
+                    (0..FEATURE_COUNT)
+                        .map(|i| ((s * 7 + i) as f64 * 0.23).sin() * 2.0)
+                        .collect()
+                })
+                .collect();
+            mlp.input_gradient_batch_flat(&batch, &mut scratch, &mut scores, &mut grads);
+            assert_eq!(scores.len(), n);
+            assert_eq!(grads.len(), n * FEATURE_COUNT);
+            for (s, x) in batch.iter().enumerate() {
+                let (rs, rg) = mlp.input_gradient(x);
+                assert_eq!(scores[s].to_bits(), rs.to_bits(), "n={n} row {s} score");
+                for (k, (a, b)) in grads[s * FEATURE_COUNT..(s + 1) * FEATURE_COUNT]
+                    .iter()
+                    .zip(&rg)
+                    .enumerate()
+                {
+                    assert_eq!(a.to_bits(), b.to_bits(), "n={n} row {s} grad[{k}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feature_major_cols_path_is_bit_identical_to_scalar() {
+        // The descent hot loop feeds the MLP a feature-major buffer and
+        // seeds the gradient tape straight from the feature-major output;
+        // both directions must match the scalar path bit-for-bit.
+        let mut rng = StdRng::seed_from_u64(13);
+        let mlp = Mlp::new(&mut rng);
+        let mut scratch = MlpScratch::default();
+        let (mut scores, mut grads_t) = (Vec::new(), Vec::new());
+        for &n in &[1usize, 7, 16, 17] {
+            let batch: Vec<Vec<f64>> = (0..n)
+                .map(|s| {
+                    (0..FEATURE_COUNT)
+                        .map(|i| ((s * 13 + i) as f64 * 0.29).sin() * 2.5)
+                        .collect()
+                })
+                .collect();
+            let mut feats_t = vec![0.0; FEATURE_COUNT * n];
+            for (s, x) in batch.iter().enumerate() {
+                for (k, &v) in x.iter().enumerate() {
+                    feats_t[k * n + s] = v;
+                }
+            }
+            mlp.input_gradient_batch_cols(&feats_t, n, &mut scratch, &mut scores, &mut grads_t);
+            assert_eq!(scores.len(), n);
+            assert_eq!(grads_t.len(), FEATURE_COUNT * n);
+            for (s, x) in batch.iter().enumerate() {
+                let (rs, rg) = mlp.input_gradient(x);
+                assert_eq!(scores[s].to_bits(), rs.to_bits(), "n={n} col {s} score");
+                for (k, b) in rg.iter().enumerate() {
+                    assert_eq!(
+                        grads_t[k * n + s].to_bits(),
+                        b.to_bits(),
+                        "n={n} col {s} grad[{k}]"
+                    );
+                }
             }
         }
     }

@@ -187,6 +187,95 @@ fn batched_soa_matches_single_lane_bitwise() {
 }
 
 #[test]
+fn every_lane_remainder_matches_scalar_bitwise() {
+    // The SIMD kernels vectorize across the seed batch and fall back to the
+    // generic kernel for the remainder, so every batch size around the lane
+    // widths (1..=2·SIMD_LANES+1 covers all remainders of 2/4/8/16) must be
+    // bit-identical to the scalar single-lane path — including the
+    // root-access helpers on the last (partial-lane) sample.
+    let mut rng = StdRng::seed_from_u64(0x4EA1);
+    for case in 0..6 {
+        let n_vars = rng.gen_range(1..5);
+        let n_ops = rng.gen_range(8..48);
+        let (p, roots) = random_dag(&mut rng, n_vars, n_ops, false);
+        let tape = CompiledGradTape::compile(&p, &roots);
+        for batch in 1..=(2 * felix_expr::SIMD_LANES + 1) {
+            let points: Vec<Vec<f64>> =
+                (0..batch).map(|_| random_point(&mut rng, n_vars)).collect();
+            let mut vars_soa = vec![0.0; n_vars * batch];
+            for (lane, pt) in points.iter().enumerate() {
+                for (v, &x) in pt.iter().enumerate() {
+                    vars_soa[v * batch + lane] = x;
+                }
+            }
+            let mut seeds_soa = vec![0.0; roots.len() * batch];
+            let per_lane_seeds: Vec<Vec<f64>> = (0..batch)
+                .map(|lane| {
+                    (0..roots.len())
+                        .map(|k| {
+                            let s = rng.gen_range(-2.0..2.0);
+                            seeds_soa[k * batch + lane] = s;
+                            s
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut vals = Vec::new();
+            tape.forward_batch(&vars_soa, batch, &mut vals);
+            let (mut adj, mut grad) = (Vec::new(), Vec::new());
+            tape.backward_batch(&seeds_soa, batch, &vals, n_vars, &mut adj, &mut grad, true)
+                .expect("batched grad");
+            for (lane, pt) in points.iter().enumerate() {
+                let single = tape.eval(pt);
+                for (k, sv) in single.iter().enumerate() {
+                    assert_eq!(
+                        tape.root_value(&vals, batch, k, lane).to_bits(),
+                        sv.to_bits(),
+                        "case {case} batch {batch}: value diverged in lane {lane}"
+                    );
+                }
+                let single_grad = tape
+                    .grad(&per_lane_seeds[lane], pt, n_vars, true)
+                    .expect("single grad");
+                for (v, sg) in single_grad.iter().enumerate() {
+                    assert_eq!(
+                        grad[v * batch + lane].to_bits(),
+                        sg.to_bits(),
+                        "case {case} batch {batch}: gradient diverged in lane {lane}"
+                    );
+                }
+            }
+            // Root-access helpers on the last lane — the partial-lane
+            // remainder whenever `batch` is not a multiple of the SIMD
+            // width. `write_roots` must agree with `root_value`, and
+            // `lane_roots_finite` must report the scalar path's verdict.
+            let last = batch - 1;
+            let mut out = Vec::new();
+            tape.write_roots(&vals, batch, last, &mut out);
+            let single_last = tape.eval(&points[last]);
+            assert_eq!(out.len(), roots.len());
+            for (k, (&w, &s)) in out.iter().zip(&single_last).enumerate() {
+                assert_eq!(
+                    w.to_bits(),
+                    s.to_bits(),
+                    "case {case} batch {batch}: write_roots diverged at root {k}"
+                );
+                assert_eq!(
+                    tape.root_value(&vals, batch, k, last).to_bits(),
+                    w.to_bits(),
+                    "case {case} batch {batch}: root_value disagrees with write_roots"
+                );
+            }
+            assert_eq!(
+                tape.lane_roots_finite(&vals, batch, last),
+                single_last.iter().all(|v| v.is_finite()),
+                "case {case} batch {batch}: lane_roots_finite diverged on last lane"
+            );
+        }
+    }
+}
+
+#[test]
 fn tape_gradients_match_finite_differences() {
     let mut rng = StdRng::seed_from_u64(0xD1FF);
     let mut checked = 0usize;

@@ -33,6 +33,22 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// Descending total order with every NaN ranked last. The verifier runs on
+/// arbitrary (possibly poisoned) assignments, so a NaN multiplier must sort
+/// deterministically and surface as a multiplier-consistency error — the
+/// old `partial_cmp(..).expect("finite mult")` comparator aborted the whole
+/// verification instead of reporting the offending loop. Local copy:
+/// `felix-tir` sits below `felix-cost` (which hosts the shared comparators)
+/// in the crate graph and cannot depend on it.
+fn total_cmp_desc_nan_last(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
+}
+
 /// Verifies all structural invariants at a concrete variable assignment
 /// (coverage/multiplier checks need numeric values; pass a valid schedule).
 pub fn verify(program: &Program, values: &[f64]) -> Result<(), Vec<VerifyError>> {
@@ -66,7 +82,11 @@ pub fn verify(program: &Program, values: &[f64]) -> Result<(), Vec<VerifyError>>
                 continue;
             }
             let product: f64 = loops.iter().map(|l| ev(l.extent)).product();
-            if (product - axis.extent as f64).abs() > 1e-6 * axis.extent as f64 {
+            // The explicit `is_nan` arm keeps a NaN extent failing coverage
+            // (it covers nothing) instead of slipping through because every
+            // NaN comparison is false.
+            let cover_diff = (product - axis.extent as f64).abs();
+            if cover_diff > 1e-6 * axis.extent as f64 || cover_diff.is_nan() {
                 errors.push(VerifyError {
                     stage: si,
                     message: format!(
@@ -80,12 +100,14 @@ pub fn verify(program: &Program, values: &[f64]) -> Result<(), Vec<VerifyError>>
             // loops of the same axis.
             let mut by_mult: Vec<_> = loops.iter().collect();
             by_mult.sort_by(|a, b| {
-                ev(b.mult).partial_cmp(&ev(a.mult)).expect("finite mult")
+                total_cmp_desc_nan_last(ev(a.mult), ev(b.mult))
             });
             let mut inner_prod = 1.0;
             for l in by_mult.iter().rev() {
                 let m = ev(l.mult);
-                if (m - inner_prod).abs() > 1e-6 * inner_prod.max(1.0) {
+                // NaN-failing form, same rationale as the coverage check.
+                let mult_diff = (m - inner_prod).abs();
+                if mult_diff > 1e-6 * inner_prod.max(1.0) || mult_diff.is_nan() {
                     errors.push(VerifyError {
                         stage: si,
                         message: format!(

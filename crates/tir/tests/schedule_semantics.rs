@@ -163,3 +163,30 @@ fn pretty_printing_marks_compute_at() {
     assert!(txt.contains("compute_at"), "{txt}");
     assert!(txt.contains(".shared.load"), "{txt}");
 }
+
+#[test]
+fn verify_survives_byte_patched_nan_assignment() {
+    // Regression: `verify` sorted loops by multiplier with
+    // `partial_cmp(..).expect("finite mult")`, so one NaN schedule value —
+    // e.g. from a diverged descent step rounded straight into a verifier
+    // call — aborted the process instead of reporting errors. The sort now
+    // uses a NaN-last total order and the coverage/multiplier tolerance
+    // checks are written NaN-failing, so a poisoned assignment comes back
+    // as verification errors.
+    use felix_tir::verify;
+    let mut p = conv_like();
+    let t = p.vars.fresh("T");
+    let x = p.pool.var(t);
+    apply(&mut p, &Step::Tile { stage: 0, axis: AxisId(0), factors: vec![x] });
+    // A valid assignment passes.
+    assert!(verify(&p, &[8.0]).is_ok());
+    // Byte-patch a quiet NaN with a nonzero payload (not the `0.0 / 0.0`
+    // canonical one) so the comparator sees an arbitrary NaN bit pattern.
+    let patched = f64::from_bits(0x7FF8_0000_0000_1234);
+    assert!(patched.is_nan());
+    let errs = verify(&p, &[patched]).expect_err("NaN assignment must fail, not abort");
+    assert!(
+        errs.iter().any(|e| e.message.contains("cover")),
+        "expected a coverage error, got: {errs:?}"
+    );
+}

@@ -53,10 +53,21 @@ cargo test -q -p felix-records --test log_recovery
 cargo test -q -p felix --test supervision supervision_on_is_bit_identical_to_supervision_off
 cargo test -q -p felix --test supervision nan_cost_model_run_degrades_and_completes
 
-# Tape-equivalence smoke: asserts the compiled gradient tape is bit-identical
-# to the pool-walking objective oracle (no timing claims in CI). The same
-# binary re-checks supervision on/off candidate parity on the healthy path.
+# Tape-equivalence + SIMD-parity smoke: asserts the batched compiled tape
+# (transposed feature seeding, batched penalty seeding, fused reverse sweep)
+# is bit-identical per lane to both the batch-of-one tape and the
+# pool-walking objective oracle at batch sizes 1/7/8/9/16/17 — spanning a
+# partial-lane remainder around every monomorphized SIMD width (no timing
+# claims in CI). The same binary re-checks supervision on/off candidate
+# parity on the healthy path. The lane-remainder sweep also runs as a unit
+# test over random DAGs at every batch size 1..=17.
 TUNER_BENCH_SMOKE=1 FELIX_FAST=1 cargo run -q --release -p felix-bench --bin tuner_bench
+cargo test -q -p felix-expr --test tape_equivalence every_lane_remainder_matches_scalar_bitwise
+
+# Tape-cache smoke: cache-on tuning bit-identical to cache-off at 1/2/4
+# threads, a warm second optimizer serving every objective from the cache,
+# and a sketch-generator bump evicting (never serving) stale tapes.
+cargo test -q -p felix --test tape_cache
 
 # Schedule-cache smoke: tune a network against a store, kill the run, and
 # re-tune the same network against the same store — the second run's
