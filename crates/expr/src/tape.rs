@@ -208,6 +208,11 @@ const B_CMP: u8 = 14;
 const B_SELECT: u8 = 15;
 /// Per-lane catch-all: `Pow`, and aliased `Mul`/`Div`/`Min`/`Max`.
 const B_GEN: u8 = 16;
+/// Constant slot: its backward rule is a no-op, but the slot still
+/// *receives* operand accumulations from the rules above, so it stays in
+/// the stream purely so the shared end-of-turn re-zero restores the
+/// zeroed-buffer invariant `backward_batch` relies on.
+const B_CONST: u8 = 17;
 
 fn cmp_op_from_u32(v: u32) -> CmpOp {
     match v {
@@ -493,15 +498,18 @@ impl CompiledGradTape {
         // Reverse slot order, verbatim: unlike the forward schedule, the
         // reverse sweep must NOT be regrouped — adjoint accumulation order
         // is part of the bit-identity contract with the pool reference.
-        // Constants drop out (their backward is a no-op) and the
-        // alias/fast-track classification is resolved here, once, instead
-        // of per instruction per sweep.
+        // Constants keep a slot in the stream even though their backward
+        // rule is a no-op: their adjoint rows receive operand
+        // accumulations (e.g. `x * c` writes into `c`'s row), and the
+        // end-of-turn re-zero is what returns those rows to zero for the
+        // next sweep. The alias/fast-track classification is resolved
+        // here, once, instead of per instruction per sweep.
         let mut bwd_tags: Vec<u8> = Vec::with_capacity(n);
         let mut bwd_ops: Vec<[u32; 4]> = Vec::with_capacity(n);
         for (i, instr) in instrs.iter().enumerate().rev() {
             let o = i as u32;
             let (tag, row) = match *instr {
-                Instr::Const(_) => continue,
+                Instr::Const(_) => (B_CONST, [o, 0, 0, 0]),
                 Instr::Var(v) => (B_VAR, [o, v, 0, 0]),
                 Instr::Un(op, a) => (
                     match op {
@@ -1355,6 +1363,11 @@ impl CompiledGradTape {
                         };
                         unsafe { (*abase.add(dst))[l] += av };
                     }
+                }
+                B_CONST => {
+                    // No backward rule and nothing downstream reads this
+                    // adjoint; the turn exists only so the epilogue below
+                    // re-zeroes the operand accumulations it absorbed.
                 }
                 _ => {
                     // B_GEN: Pow, or aliased Mul/Div/Min/Max.

@@ -23,7 +23,7 @@ pub mod json;
 pub mod store;
 
 pub use jobs::{
-    read_job_records, CompletedJob, JobRecord, JobWal, QueueState, SubmittedJob,
+    read_job_records, JobOutcome, JobRecord, JobWal, QueueState, SubmittedJob, TerminalJob,
     JOB_RECORD_VERSION,
 };
 pub use json::Json;

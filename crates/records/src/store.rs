@@ -133,6 +133,13 @@ pub struct ScheduleStore {
     path: PathBuf,
     writer: BufWriter<File>,
     entries: BTreeMap<u64, StoredSchedule>,
+    /// Last-update sequence number per task key (in-memory only): replay
+    /// order on open, then insert order. Feeds the eviction tiebreak, so
+    /// it lives beside the entries rather than in [`StoredSchedule`] —
+    /// the wire format and entry equality stay untouched.
+    seq: BTreeMap<u64, u64>,
+    next_seq: u64,
+    max_entries: Option<usize>,
 }
 
 impl ScheduleStore {
@@ -146,6 +153,8 @@ impl ScheduleStore {
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<ScheduleStore> {
         let path = path.as_ref().to_path_buf();
         let mut entries = BTreeMap::new();
+        let mut seq = BTreeMap::new();
+        let mut next_seq = 0u64;
         let mut bytes = Vec::new();
         match File::open(&path) {
             Ok(mut f) => {
@@ -165,10 +174,36 @@ impl ScheduleStore {
             }
             let Ok(doc) = Json::parse(text) else { continue };
             let Some(entry) = StoredSchedule::from_json(&doc) else { continue };
-            merge_entry(&mut entries, entry);
+            let key = entry.task_key;
+            if merge_entry(&mut entries, entry) {
+                seq.insert(key, next_seq);
+                next_seq += 1;
+            }
         }
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
-        Ok(ScheduleStore { path, writer: BufWriter::new(file), entries })
+        Ok(ScheduleStore {
+            path,
+            writer: BufWriter::new(file),
+            entries,
+            seq,
+            next_seq,
+            max_entries: None,
+        })
+    }
+
+    /// Bounds the store to at most `max` entries, enforced at
+    /// [`ScheduleStore::compact`] time by deterministic oldest-worst
+    /// eviction (see there). Appends between compactions may exceed the
+    /// bound transiently; the on-disk improvement log is already bounded
+    /// by compaction itself.
+    pub fn with_max_entries(mut self, max: usize) -> ScheduleStore {
+        self.max_entries = Some(max);
+        self
+    }
+
+    /// The configured entry bound, if any.
+    pub fn max_entries(&self) -> Option<usize> {
+        self.max_entries
     }
 
     /// The store's path.
@@ -250,6 +285,8 @@ impl ScheduleStore {
         line.push('\n');
         self.writer.write_all(line.as_bytes())?;
         self.writer.flush()?;
+        self.seq.insert(entry.task_key, self.next_seq);
+        self.next_seq += 1;
         self.entries.insert(entry.task_key, entry);
         Ok(true)
     }
@@ -257,14 +294,39 @@ impl ScheduleStore {
     /// Rewrites the file to exactly one line per task, in ascending
     /// task-key order, through the atomic tmp+fsync+rename codec — a
     /// reader concurrent with a compaction sees either the old improvement
-    /// log or the compacted one, never a torn mix. The in-memory state is
-    /// unchanged.
+    /// log or the compacted one, never a torn mix.
+    ///
+    /// When a [`ScheduleStore::with_max_entries`] bound is set and the
+    /// store exceeds it, compaction first evicts down to the bound,
+    /// oldest-worst first: the eviction order is highest latency first,
+    /// ties broken toward the least recently updated entry, then toward
+    /// the smaller task key — fully deterministic, so two stores that saw
+    /// the same update sequence compact to byte-identical files. Evicted
+    /// entries leave the in-memory index too (the store forgets them).
     ///
     /// # Errors
     ///
     /// Returns any I/O error from writing, syncing, renaming, or reopening
     /// the append handle.
     pub fn compact(&mut self) -> std::io::Result<()> {
+        if let Some(max) = self.max_entries {
+            while self.entries.len() > max {
+                let victim = self
+                    .entries
+                    .values()
+                    .max_by(|a, b| {
+                        let seq = |e: &StoredSchedule| self.seq.get(&e.task_key).copied();
+                        a.latency_ms
+                            .total_cmp(&b.latency_ms)
+                            .then(seq(b).cmp(&seq(a)))
+                            .then(b.task_key.cmp(&a.task_key))
+                    })
+                    .map(|e| e.task_key)
+                    .expect("non-empty: len > max >= 0");
+                self.entries.remove(&victim);
+                self.seq.remove(&victim);
+            }
+        }
         let tmp = self.path.with_extension("tmp");
         {
             let mut f = File::create(&tmp)?;
@@ -287,17 +349,22 @@ impl ScheduleStore {
 /// Better-only merge within one generator fingerprint (replaying such
 /// lines in any order converges to the same per-key minimum); a line with
 /// a *different* fingerprint supersedes unconditionally, so in append
-/// order the latest generation's improvement log wins.
-fn merge_entry(entries: &mut BTreeMap<u64, StoredSchedule>, entry: StoredSchedule) {
+/// order the latest generation's improvement log wins. Returns whether
+/// the entry landed (callers track update recency off this).
+fn merge_entry(entries: &mut BTreeMap<u64, StoredSchedule>, entry: StoredSchedule) -> bool {
     if !entry.latency_ms.is_finite() {
-        return;
+        return false;
     }
     match entries.get(&entry.task_key) {
         Some(existing)
             if existing.generator == entry.generator
-                && existing.latency_ms <= entry.latency_ms => {}
+                && existing.latency_ms <= entry.latency_ms =>
+        {
+            false
+        }
         _ => {
             entries.insert(entry.task_key, entry);
+            true
         }
     }
 }
@@ -484,6 +551,101 @@ mod tests {
             .best_for_structure(e0.structure_hash, "A10G", 0)
             .is_none());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eviction_parks_at_bound_and_keeps_newest_best() {
+        let path = tmp_path("evict");
+        let mut store = ScheduleStore::open(&path).expect("open").with_max_entries(2);
+        assert_eq!(store.max_entries(), Some(2));
+        // Insert 4 tasks: latencies 1.25, 1.35, 1.45, 1.55 (sample_entry
+        // order). Worst two (i = 2, 3) must go.
+        for i in 0..4 {
+            assert!(store.insert(sample_entry(i)).expect("insert"));
+        }
+        store.compact().expect("compact");
+        assert_eq!(store.len(), 2);
+        assert!(store.get(sample_entry(0).task_key).is_some());
+        assert!(store.get(sample_entry(1).task_key).is_some());
+        assert!(store.get(sample_entry(2).task_key).is_none());
+        // The file matches the in-memory survivors.
+        drop(store);
+        let store = ScheduleStore::open(&path).expect("reopen");
+        assert_eq!(store.len(), 2);
+        // Latency ties evict the least recently updated entry: re-insert
+        // two evicted tasks at one latency, refresh the first, bound 1.
+        let mut store = store.with_max_entries(1);
+        let mut a = sample_entry(2);
+        let mut b = sample_entry(3);
+        a.latency_ms = 0.5;
+        b.latency_ms = 0.5;
+        assert!(store.insert(a.clone()).expect("insert"));
+        assert!(store.insert(b.clone()).expect("insert"));
+        a.values[0] += 1.0;
+        a.latency_ms = 0.25; // improvement refreshes a's recency…
+        assert!(store.insert(a.clone()).expect("refresh"));
+        b.latency_ms = 0.25; // …then b's, so a and b tie at 0.25 with a older
+        b.values[0] += 1.0;
+        assert!(store.insert(b.clone()).expect("refresh"));
+        store.compact().expect("compact");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(b.task_key), Some(&b), "older tie loses: a evicted");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Property: under a random update sequence, bounded compaction (a)
+    /// never exceeds the bound, (b) keeps exactly the lowest-latency
+    /// entries (recency only breaks ties), and (c) is deterministic — the
+    /// same sequence replayed into a fresh store compacts to a
+    /// byte-identical file.
+    #[test]
+    fn eviction_property_random_sequences() {
+        let mut rng = 0x00C0_FFEE_D00D_5EEDu64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for case in 0..20 {
+            let max = 1 + (next() as usize % 5);
+            let updates: Vec<(usize, f64)> = (0..(next() as usize % 40))
+                .map(|_| {
+                    let task = next() as usize % 8;
+                    let latency = 0.25 + (next() % 1000) as f64 / 128.0;
+                    (task, latency)
+                })
+                .collect();
+            let run = |tag: &str| {
+                let path = tmp_path(tag);
+                let mut store =
+                    ScheduleStore::open(&path).expect("open").with_max_entries(max);
+                for (task, latency) in &updates {
+                    let mut entry = sample_entry(*task);
+                    entry.latency_ms = *latency;
+                    store.insert(entry).expect("insert");
+                }
+                let before: Vec<StoredSchedule> = store.entries().cloned().collect();
+                store.compact().expect("compact");
+                let after: Vec<StoredSchedule> = store.entries().cloned().collect();
+                let bytes = std::fs::read(&path).expect("read");
+                std::fs::remove_file(&path).ok();
+                (before, after, bytes)
+            };
+            let (before, after, bytes) = run(&format!("prop-a-{case}"));
+            let (_, after_b, bytes_b) = run(&format!("prop-b-{case}"));
+            assert!(after.len() <= max, "case {case}: bound respected");
+            assert_eq!(after.len(), before.len().min(max), "case {case}: evicts only past bound");
+            // Survivors are the best `max` latencies of the pre-compaction
+            // state (ties may go either way on identity, never on count).
+            let mut latencies: Vec<f64> = before.iter().map(|e| e.latency_ms).collect();
+            latencies.sort_by(f64::total_cmp);
+            let mut kept: Vec<f64> = after.iter().map(|e| e.latency_ms).collect();
+            kept.sort_by(f64::total_cmp);
+            assert_eq!(kept, latencies[..after.len()], "case {case}: keeps the best");
+            assert_eq!(after, after_b, "case {case}: deterministic survivors");
+            assert_eq!(bytes, bytes_b, "case {case}: byte-identical files");
+        }
     }
 
     #[test]

@@ -2,22 +2,53 @@
 //!
 //! ```text
 //! felix-served --data-dir DIR [--addr HOST:PORT] [--shards N]
+//!              [--max-queue N] [--tenant-quota N] [--max-active N]
+//!              [--compact-slack N]
 //! ```
 //!
 //! Prints `felix-served listening on ADDR` once the socket is bound (the
 //! tests and scripts parse that line for the resolved ephemeral port),
-//! then serves until a `shutdown` request arrives. All durable state
-//! lives under `--data-dir`; killing the process at any instant and
-//! restarting it with the same directory resumes every unfinished job.
+//! then serves until a `shutdown` request or SIGTERM arrives — both
+//! drain gracefully: admission stops, in-flight jobs checkpoint at their
+//! current round boundary, and the process exits 0 with every accepted
+//! job either terminal or resumable from `--data-dir`. Killing the
+//! process at any instant (SIGKILL included) and restarting it with the
+//! same directory resumes every unfinished job.
 
 use felix_serve::server::{ServeConfig, Server};
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the (async-signal-safe) SIGTERM handler, polled by a watcher
+/// thread that runs the actual drain — nothing heavier than a store
+/// happens in signal context.
+static SIGTERM_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    SIGTERM_RECEIVED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
+const USAGE: &str = "usage: felix-served --data-dir DIR [--addr HOST:PORT] [--shards N] \
+[--max-queue N] [--tenant-quota N] [--max-active N] [--compact-slack N]";
 
 fn main() {
-    let mut addr = "127.0.0.1:0".to_string();
+    let mut config = ServeConfig::new("127.0.0.1:0", PathBuf::new(), 2);
     let mut data_dir: Option<PathBuf> = None;
-    let mut shards = 2usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -26,17 +57,30 @@ fn main() {
                 std::process::exit(2);
             })
         };
+        let parse = |name: &str, value: String| {
+            value.parse::<usize>().unwrap_or_else(|e| {
+                eprintln!("{name}: {e}");
+                std::process::exit(2);
+            })
+        };
         match arg.as_str() {
-            "--addr" => addr = value("--addr"),
+            "--addr" => config.addr = value("--addr"),
             "--data-dir" => data_dir = Some(PathBuf::from(value("--data-dir"))),
-            "--shards" => {
-                shards = value("--shards").parse().unwrap_or_else(|e| {
-                    eprintln!("--shards: {e}");
-                    std::process::exit(2);
-                });
+            "--shards" => config.shards = parse("--shards", value("--shards")),
+            "--max-queue" => {
+                config.max_queue_depth = parse("--max-queue", value("--max-queue"));
+            }
+            "--tenant-quota" => {
+                config.tenant_quota = parse("--tenant-quota", value("--tenant-quota"));
+            }
+            "--max-active" => {
+                config.max_active_per_shard = parse("--max-active", value("--max-active"));
+            }
+            "--compact-slack" => {
+                config.compact_slack = parse("--compact-slack", value("--compact-slack"));
             }
             "--help" | "-h" => {
-                println!("usage: felix-served --data-dir DIR [--addr HOST:PORT] [--shards N]");
+                println!("{USAGE}");
                 return;
             }
             other => {
@@ -49,12 +93,22 @@ fn main() {
         eprintln!("felix-served: --data-dir is required (try --help)");
         std::process::exit(2);
     };
-    let config = ServeConfig { addr, data_dir, shards };
+    config.data_dir = data_dir;
     let server = Server::start(&config).unwrap_or_else(|e| {
         eprintln!("felix-served: {e}");
         std::process::exit(1);
     });
     println!("felix-served listening on {}", server.addr);
     std::io::stdout().flush().ok();
+    install_sigterm_handler();
+    let drain = server.drain_handle();
+    std::thread::spawn(move || loop {
+        if SIGTERM_RECEIVED.load(Ordering::SeqCst) {
+            eprintln!("[felix-served] SIGTERM: draining");
+            drain.drain();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
     server.wait();
 }

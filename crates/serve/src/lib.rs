@@ -11,8 +11,17 @@
 //!    pending set survives any crash;
 //! 2. workers checkpoint after every round and derive all scheduling
 //!    decisions from durable state only;
-//! 3. results are written atomically before their completion record, and
+//! 3. results are written atomically before their terminal record, and
 //!    finalization is idempotent.
+//!
+//! On top of that sits the **job lifecycle** state machine
+//! (`submitted → running → done | cancelled | expired | quarantined`):
+//! durable cancellation honored between tuning rounds, per-job wall-clock
+//! deadlines, bounded admission (queue depth + per-tenant quotas with
+//! typed rejections that never touch the WAL), poison-job quarantine
+//! after repeated worker crashes, graceful drain on SIGTERM/`shutdown`,
+//! and WAL compaction. See `DESIGN.md` for the transition diagram and
+//! the crash-safety argument per transition.
 //!
 //! Modules: [`protocol`] (wire format), [`spec`] (job specs), [`worker`]
 //! (shards + fairness), [`server`] (the daemon), [`client`] (a blocking
@@ -24,8 +33,10 @@ pub mod server;
 pub mod spec;
 pub mod worker;
 
-pub use client::Client;
+pub use client::{Client, ClientError, DEFAULT_CONNECT_TIMEOUT, DEFAULT_IO_TIMEOUT};
 pub use protocol::{read_frame, write_frame, FrameError, JobRow, Request, Response, MAX_FRAME};
-pub use server::{ServeConfig, Server};
+pub use server::{DrainHandle, ServeConfig, Server};
 pub use spec::JobSpec;
-pub use worker::{job_dir, result_path, store_path, Shard, StepOutcome, WAL_FILE};
+pub use worker::{
+    job_dir, result_path, store_path, Shard, StepOutcome, QUARANTINE_CRASHES, WAL_FILE,
+};

@@ -33,15 +33,26 @@ pub enum Request {
         /// The job to query.
         job_id: u64,
     },
-    /// Fetch one finished job's result document.
+    /// Durably request a job's cancellation. The request is WAL-logged
+    /// before it is acknowledged; a worker honors it between tuning
+    /// rounds (checkpointing the partial result), so the answer is the
+    /// job's state — `"cancelling"` until the terminal `"cancelled"`
+    /// record lands. Idempotent, including against terminal jobs.
+    Cancel {
+        /// The job to cancel.
+        job_id: u64,
+    },
+    /// Fetch one terminal job's result document (partial for
+    /// cancelled/expired jobs, an error report for quarantined ones).
     Result {
         /// The job to fetch.
         job_id: u64,
     },
     /// List every job the server knows about.
     List,
-    /// Ask the daemon to stop (current ticks finish; unfinished jobs
-    /// resume on the next start).
+    /// Ask the daemon to drain: stop admitting, let in-flight jobs finish
+    /// their current round (checkpointed), then exit. Unfinished jobs
+    /// resume on the next start.
     Shutdown,
 }
 
@@ -57,6 +68,10 @@ impl Request {
             ]),
             Request::Status { job_id } => Json::obj(vec![
                 ("op", Json::Str("status".to_string())),
+                ("job", Json::u64_hex(*job_id)),
+            ]),
+            Request::Cancel { job_id } => Json::obj(vec![
+                ("op", Json::Str("cancel".to_string())),
                 ("job", Json::u64_hex(*job_id)),
             ]),
             Request::Result { job_id } => Json::obj(vec![
@@ -90,6 +105,7 @@ impl Request {
                 spec: doc.get("spec").ok_or("\"submit\" needs a \"spec\" field")?.clone(),
             }),
             "status" => Ok(Request::Status { job_id: job(doc)? }),
+            "cancel" => Ok(Request::Cancel { job_id: job(doc)? }),
             "result" => Ok(Request::Result { job_id: job(doc)? }),
             "list" => Ok(Request::List),
             "shutdown" => Ok(Request::Shutdown),
@@ -105,7 +121,8 @@ pub struct JobRow {
     pub job_id: u64,
     /// Owning tenant.
     pub tenant: String,
-    /// `"pending"`, `"running"`, or `"done"`.
+    /// `"pending"`, `"cancelling"`, `"running"`, or a terminal state:
+    /// `"done"`, `"cancelled"`, `"expired"`, `"quarantined"`.
     pub state: String,
 }
 
@@ -125,7 +142,8 @@ pub enum Response {
         job_id: u64,
         /// Owning tenant.
         tenant: String,
-        /// `"pending"`, `"running"`, or `"done"`.
+        /// `"pending"`, `"cancelling"`, `"running"`, or a terminal
+        /// state: `"done"`, `"cancelled"`, `"expired"`, `"quarantined"`.
         state: String,
     },
     /// A finished job's result document (latencies as `f64` bit patterns).
@@ -142,6 +160,29 @@ pub enum Response {
     },
     /// Shutdown acknowledged.
     Bye,
+    /// Admission control: the queue is at its global depth bound. The
+    /// submission was NOT queued (and nothing was written to the WAL) —
+    /// retry after live jobs finish.
+    Busy {
+        /// Live (non-terminal) jobs in the queue right now.
+        live: u64,
+        /// The configured bound.
+        limit: u64,
+    },
+    /// Admission control: this tenant is at its in-flight quota. The
+    /// submission was NOT queued; retry after the tenant's live jobs
+    /// finish.
+    QuotaExceeded {
+        /// The over-quota tenant.
+        tenant: String,
+        /// The tenant's live (non-terminal) jobs right now.
+        live: u64,
+        /// The configured per-tenant bound.
+        limit: u64,
+    },
+    /// The daemon is draining (a `shutdown` or SIGTERM arrived) and no
+    /// longer admits jobs. The submission was NOT queued.
+    Draining,
     /// The request failed; the connection stays usable.
     Error {
         /// Client-facing reason.
@@ -187,6 +228,20 @@ impl Response {
                 ),
             ]),
             Response::Bye => Json::obj(vec![("type", Json::Str("bye".to_string()))]),
+            Response::Busy { live, limit } => Json::obj(vec![
+                ("type", Json::Str("busy".to_string())),
+                ("live", Json::u64_hex(*live)),
+                ("limit", Json::u64_hex(*limit)),
+            ]),
+            Response::QuotaExceeded { tenant, live, limit } => Json::obj(vec![
+                ("type", Json::Str("quota".to_string())),
+                ("tenant", Json::Str(tenant.clone())),
+                ("live", Json::u64_hex(*live)),
+                ("limit", Json::u64_hex(*limit)),
+            ]),
+            Response::Draining => {
+                Json::obj(vec![("type", Json::Str("draining".to_string()))])
+            }
             Response::Error { message } => Json::obj(vec![
                 ("type", Json::Str("error".to_string())),
                 ("message", Json::Str(message.clone())),
@@ -252,6 +307,31 @@ impl Response {
                 Ok(Response::Jobs { jobs })
             }
             "bye" => Ok(Response::Bye),
+            "busy" => {
+                let field = |name: &str| {
+                    doc.get(name)
+                        .and_then(Json::as_u64_hex)
+                        .ok_or(format!("\"busy\" response needs \"{name}\""))
+                };
+                Ok(Response::Busy { live: field("live")?, limit: field("limit")? })
+            }
+            "quota" => {
+                let field = |name: &str| {
+                    doc.get(name)
+                        .and_then(Json::as_u64_hex)
+                        .ok_or(format!("\"quota\" response needs \"{name}\""))
+                };
+                Ok(Response::QuotaExceeded {
+                    tenant: doc
+                        .get("tenant")
+                        .and_then(Json::as_str)
+                        .ok_or("\"quota\" response needs \"tenant\"")?
+                        .to_string(),
+                    live: field("live")?,
+                    limit: field("limit")?,
+                })
+            }
+            "draining" => Ok(Response::Draining),
             "error" => Ok(Response::Error {
                 message: doc
                     .get("message")
@@ -272,6 +352,10 @@ pub enum FrameError {
     /// The line exceeded [`MAX_FRAME`] bytes; the connection must be
     /// dropped (the rest of the oversized line is unread garbage).
     Oversized,
+    /// The socket's read timeout elapsed before a full frame arrived.
+    /// The connection may hold a partial frame and must be dropped, not
+    /// retried — the next read would splice two frames together.
+    TimedOut,
     /// The line was not valid JSON, or the connection died mid-line.
     Malformed(String),
 }
@@ -281,6 +365,7 @@ impl std::fmt::Display for FrameError {
         match self {
             FrameError::Closed => write!(f, "connection closed"),
             FrameError::Oversized => write!(f, "frame exceeds {MAX_FRAME} bytes"),
+            FrameError::TimedOut => write!(f, "timed out waiting for a frame"),
             FrameError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
         }
     }
@@ -301,6 +386,15 @@ pub fn read_frame(reader: &mut impl BufRead) -> Result<Json, FrameError> {
     match limited.read_until(b'\n', &mut line) {
         Ok(0) => return Err(FrameError::Closed),
         Ok(_) => {}
+        Err(e)
+            if e.kind() == std::io::ErrorKind::TimedOut
+                || e.kind() == std::io::ErrorKind::WouldBlock =>
+        {
+            // A socket read timeout surfaces as TimedOut (or WouldBlock,
+            // platform-dependently); give it its own variant so clients
+            // can distinguish a hung daemon from a hostile one.
+            return Err(FrameError::TimedOut);
+        }
         Err(e) => return Err(FrameError::Malformed(e.to_string())),
     }
     if line.len() > MAX_FRAME {

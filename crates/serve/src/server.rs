@@ -7,31 +7,48 @@
 //!   client costs one parked thread and nothing else);
 //! - `n_shards` **worker threads** each run a [`Shard`]: claim pending
 //!   jobs by `job_id % n_shards`, tick them under the fairness policy,
-//!   and append completion records;
+//!   honor cancels/deadlines between ticks, and append terminal records;
 //! - all durable state funnels through one mutex-guarded [`State`]:
 //!   the WAL appender and the replayed [`QueueState`] it feeds.
 //!
 //! ## Durability protocol
 //!
 //! Submit: WAL line flushed **before** the `ack` response — an acked job
-//! survives any crash. Complete: the result document is written
-//! atomically **before** the completion line — a completion line proves
-//! the result is servable. Claims are logged for observability only.
-//! Workers killed mid-job restart from the per-job checkpoints; see
-//! [`crate::worker`] for why the replay is byte-identical.
+//! survives any crash. Cancel: the request line is flushed before the
+//! client hears `cancelling`, so a cancel survives any crash too. Every
+//! terminal transition (`done`, `cancelled`, `expired`, `quarantined`):
+//! the result document is written atomically **before** the terminal
+//! line — a terminal line proves the result is servable. Claims are
+//! logged for observability only. Workers killed mid-job restart from
+//! the per-job checkpoints; see [`crate::worker`] for why the replay is
+//! byte-identical.
+//!
+//! ## Admission control
+//!
+//! Rejected submissions ([`Response::Busy`], [`Response::QuotaExceeded`],
+//! [`Response::Draining`]) write **nothing** to the WAL — backpressure
+//! that grew the log would be no backpressure at all. The WAL itself is
+//! bounded by compaction: at startup (always, when it saves lines) and
+//! whenever the live log exceeds its canonical size by the configured
+//! slack.
 
 use crate::protocol::{read_frame, write_frame, FrameError, JobRow, Request, Response};
 use crate::spec::JobSpec;
-use crate::worker::{Shard, StepOutcome, WAL_FILE};
-use felix_records::jobs::{CompletedJob, SubmittedJob};
+use crate::worker::{Shard, StepOutcome, QUARANTINE_CRASHES, WAL_FILE};
+use felix_records::jobs::{JobOutcome, SubmittedJob, TerminalJob};
 use felix_records::{JobRecord, JobWal, QueueState};
+use std::collections::BTreeMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-/// Daemon configuration.
+/// Daemon configuration. Build with [`ServeConfig::new`] and override the
+/// bounds you care about; the defaults keep the pre-lifecycle behavior
+/// (effectively unbounded admission, modest compaction slack).
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Listen address, e.g. `"127.0.0.1:0"` (port 0 = ephemeral).
@@ -41,16 +58,79 @@ pub struct ServeConfig {
     pub data_dir: PathBuf,
     /// Worker shards (jobs are partitioned by `job_id % shards`).
     pub shards: usize,
+    /// Global bound on live (non-terminal) jobs; submissions past it get
+    /// [`Response::Busy`].
+    pub max_queue_depth: usize,
+    /// Per-tenant bound on live jobs; submissions past it get
+    /// [`Response::QuotaExceeded`].
+    pub tenant_quota: usize,
+    /// Bound on concurrently adopted jobs per shard. Beyond it, pending
+    /// jobs wait (cancels/expiries/quarantines are still honored while
+    /// they wait — they never occupy a slot).
+    pub max_active_per_shard: usize,
+    /// Runtime compaction trigger: compact when the WAL holds this many
+    /// lines more than its canonical replay would.
+    pub compact_slack: usize,
+}
+
+impl ServeConfig {
+    /// A config with the given placement knobs and default lifecycle
+    /// bounds.
+    pub fn new(addr: impl Into<String>, data_dir: impl Into<PathBuf>, shards: usize) -> ServeConfig {
+        ServeConfig {
+            addr: addr.into(),
+            data_dir: data_dir.into(),
+            shards,
+            max_queue_depth: 1024,
+            tenant_quota: 256,
+            max_active_per_shard: usize::MAX,
+            compact_slack: 64,
+        }
+    }
 }
 
 struct State {
     wal: JobWal,
     queue: QueueState,
+    /// Lines currently in the WAL file (replayed + appended since), the
+    /// quantity the size-triggered compaction compares to the canonical
+    /// replay size.
+    wal_lines: usize,
     /// Jobs a shard adopted in this process (status display only; a
     /// crash resets this, and the replayed queue makes them pending
     /// again, which is exactly their recovery state).
     running: std::collections::BTreeSet<u64>,
-    shutdown: bool,
+    /// Drain flag: set by a `shutdown` request or SIGTERM. Submissions
+    /// are answered [`Response::Draining`], workers exit after their
+    /// current step (checkpoints are per-round, so nothing is lost), and
+    /// the accept loop stops.
+    draining: bool,
+}
+
+impl State {
+    fn append(&mut self, record: &JobRecord) -> std::io::Result<()> {
+        self.wal.append(record)?;
+        self.wal_lines += 1;
+        Ok(())
+    }
+
+    /// Compacts the WAL when it exceeds its canonical size by more than
+    /// `slack` lines. Claims are observability-only and dropped by the
+    /// canonical form, so the in-memory ones are cleared to keep
+    /// replay-of-file and in-memory state aligned.
+    fn compact_if_oversized(&mut self, slack: usize) {
+        let canonical = self.queue.canonical_len();
+        if self.wal_lines <= canonical + slack {
+            return;
+        }
+        match self.wal.compact(&self.queue) {
+            Ok(lines) => {
+                self.wal_lines = lines;
+                self.queue.claims.clear();
+            }
+            Err(e) => eprintln!("[felix-serve] WAL compaction failed: {e}"),
+        }
+    }
 }
 
 struct Shared {
@@ -59,11 +139,30 @@ struct Shared {
     data_dir: PathBuf,
     n_shards: usize,
     addr: SocketAddr,
+    max_queue_depth: usize,
+    tenant_quota: usize,
+    max_active_per_shard: usize,
+    compact_slack: usize,
 }
 
 impl Shared {
     fn lock(&self) -> MutexGuard<'_, State> {
         self.state.lock().expect("server state poisoned")
+    }
+}
+
+/// A handle that can ask a running [`Server`] to drain from another
+/// thread — e.g. a SIGTERM watcher — while `Server::wait` blocks.
+#[derive(Clone)]
+pub struct DrainHandle {
+    shared: Arc<Shared>,
+}
+
+impl DrainHandle {
+    /// Starts a graceful drain: stop admitting, let workers finish their
+    /// current step (every completed round is checkpointed), then exit.
+    pub fn drain(&self) {
+        request_shutdown(&self.shared);
     }
 }
 
@@ -78,28 +177,50 @@ pub struct Server {
 impl Server {
     /// Recovers durable state from `data_dir`, binds the listener, and
     /// starts the worker pool. Pending jobs from a previous process are
-    /// picked up immediately.
+    /// picked up immediately; a pending job whose crash count reached the
+    /// quarantine threshold is parked `quarantined` instead of re-run.
+    /// The WAL is compacted on replay whenever that saves lines.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from the data directory, WAL, or socket.
     pub fn start(config: &ServeConfig) -> std::io::Result<Server> {
         std::fs::create_dir_all(&config.data_dir)?;
-        let wal = JobWal::open(config.data_dir.join(WAL_FILE))?;
-        let queue = QueueState::replay(&wal.read_records()?);
+        let mut wal = JobWal::open(config.data_dir.join(WAL_FILE))?;
+        let records = wal.read_records()?;
+        let mut wal_lines = records.len();
+        let queue = QueueState::replay(&records);
+        // Startup compaction: replay already paid the cost of the stale
+        // lines; rewrite so the next startup doesn't. Atomic, so a crash
+        // mid-compaction leaves either log, both replaying identically.
+        let mut queue = queue;
+        if wal_lines > queue.canonical_len() {
+            match wal.compact(&queue) {
+                Ok(lines) => {
+                    wal_lines = lines;
+                    queue.claims.clear();
+                }
+                Err(e) => eprintln!("[felix-serve] startup WAL compaction failed: {e}"),
+            }
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 wal,
                 queue,
+                wal_lines,
                 running: std::collections::BTreeSet::new(),
-                shutdown: false,
+                draining: false,
             }),
             work: Condvar::new(),
             data_dir: config.data_dir.clone(),
             n_shards: config.shards.max(1),
             addr,
+            max_queue_depth: config.max_queue_depth,
+            tenant_quota: config.tenant_quota,
+            max_active_per_shard: config.max_active_per_shard.max(1),
+            compact_slack: config.compact_slack,
         });
         let mut threads = Vec::new();
         for index in 0..shared.n_shards {
@@ -113,14 +234,20 @@ impl Server {
         Ok(Server { addr, shared, threads })
     }
 
-    /// Blocks until the daemon shuts down (via a `shutdown` request).
+    /// Blocks until the daemon drains (via a `shutdown` request or a
+    /// [`DrainHandle`]).
     pub fn wait(self) {
         for t in self.threads {
             t.join().expect("server thread panicked");
         }
     }
 
-    /// Asks the daemon to stop, as the `shutdown` request does, and
+    /// A handle for triggering a drain from another thread.
+    pub fn drain_handle(&self) -> DrainHandle {
+        DrainHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Asks the daemon to drain, as the `shutdown` request does, and
     /// blocks until every thread exits.
     pub fn shutdown_and_wait(self) {
         request_shutdown(&self.shared);
@@ -129,7 +256,7 @@ impl Server {
 }
 
 fn request_shutdown(shared: &Shared) {
-    shared.lock().shutdown = true;
+    shared.lock().draining = true;
     shared.work.notify_all();
     // Wake the accept loop out of `accept()` with a throwaway connection.
     drop(TcpStream::connect(shared.addr));
@@ -137,7 +264,7 @@ fn request_shutdown(shared: &Shared) {
 
 fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     for stream in listener.incoming() {
-        if shared.lock().shutdown {
+        if shared.lock().draining {
             return;
         }
         let Ok(stream) = stream else { continue };
@@ -148,66 +275,208 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     }
 }
 
+/// Wall-clock now in Unix milliseconds — deadline arithmetic and
+/// observability only; never part of the deterministic tuning state.
+fn now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// A pending job's deadline in milliseconds, read straight off the spec
+/// document (validated at submit time).
+fn job_deadline_ms(job: &SubmittedJob) -> Option<u64> {
+    job.spec.get("deadline_ms")?.as_usize().map(|d| d as u64)
+}
+
+/// Why a pending job must be finalized instead of (or before) running.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Disposal {
+    /// Crash count at threshold: park it without touching its optimizer.
+    Quarantine(u32),
+    /// A durable cancel request stands.
+    Cancel,
+    /// Its wall-clock deadline elapsed.
+    Expire,
+}
+
+/// The lifecycle verdict for a non-terminal job, from durable state plus
+/// the clock. Quarantine outranks cancel — both are terminal, and the
+/// quarantine path is the only one guaranteed never to touch the job's
+/// crash-prone optimizer.
+fn disposal_for(st: &State, job: &SubmittedJob, now_ms: u64) -> Option<Disposal> {
+    if let Some(&crashes) = st.queue.crash_counts.get(&job.job_id) {
+        if crashes >= QUARANTINE_CRASHES {
+            return Some(Disposal::Quarantine(crashes));
+        }
+    }
+    if st.queue.cancel_requested.contains(&job.job_id) {
+        return Some(Disposal::Cancel);
+    }
+    let deadline = job_deadline_ms(job)?;
+    // Jobs from pre-deadline WAL lines have no timestamp to anchor to.
+    if job.submitted_at_ms > 0 && now_ms.saturating_sub(job.submitted_at_ms) >= deadline {
+        return Some(Disposal::Expire);
+    }
+    None
+}
+
+/// One iteration's marching orders for a shard, computed under the state
+/// lock and executed outside it.
+struct Plan {
+    /// Fresh pending jobs to adopt (capacity-gated, claims logged).
+    adopt: Vec<SubmittedJob>,
+    /// Pending jobs to finalize without running.
+    dispose: Vec<(SubmittedJob, Disposal)>,
+    /// Active jobs to finalize between ticks (cancel/expire only).
+    sweep: BTreeMap<u64, JobOutcome>,
+}
+
 fn worker_loop(shared: &Arc<Shared>, index: usize) {
     let mut shard = Shard::new(index, shared.n_shards, &shared.data_dir);
     loop {
-        // Claim every unadopted pending job this shard owns, or park
-        // until one arrives (unless jobs are already in flight).
-        let to_adopt: Vec<SubmittedJob> = {
+        let plan = {
             let mut st = shared.lock();
             loop {
-                if st.shutdown {
+                if st.draining {
                     return;
                 }
-                let fresh: Vec<SubmittedJob> = st
-                    .queue
-                    .pending()
-                    .iter()
-                    .filter(|j| shard.owns(j.job_id) && !st.running.contains(&j.job_id))
-                    .map(|j| (*j).clone())
-                    .collect();
-                if !fresh.is_empty() || shard.has_active() {
-                    for job in &fresh {
+                let now = now_ms();
+                let mut capacity =
+                    shared.max_active_per_shard.saturating_sub(shard.active_len());
+                let mut plan = Plan {
+                    adopt: Vec::new(),
+                    dispose: Vec::new(),
+                    sweep: BTreeMap::new(),
+                };
+                let mut watch_deadline = false;
+                for job in st.queue.pending() {
+                    if !shard.owns(job.job_id) {
+                        continue;
+                    }
+                    watch_deadline |= job_deadline_ms(job).is_some();
+                    if shard.is_active(job.job_id) {
+                        match disposal_for(&st, job, now) {
+                            Some(Disposal::Cancel) => {
+                                plan.sweep.insert(job.job_id, JobOutcome::Cancelled);
+                            }
+                            Some(Disposal::Expire) => {
+                                plan.sweep.insert(job.job_id, JobOutcome::Expired);
+                            }
+                            // An active job cannot be at the quarantine
+                            // threshold: its last crash removed it.
+                            _ => {}
+                        }
+                        continue;
+                    }
+                    if st.running.contains(&job.job_id) {
+                        continue;
+                    }
+                    match disposal_for(&st, job, now) {
+                        Some(d) => plan.dispose.push((job.clone(), d)),
+                        None if capacity > 0 => {
+                            capacity -= 1;
+                            plan.adopt.push(job.clone());
+                        }
+                        None => {}
+                    }
+                }
+                let busy = !plan.adopt.is_empty()
+                    || !plan.dispose.is_empty()
+                    || !plan.sweep.is_empty()
+                    || shard.has_active();
+                if busy {
+                    for job in &plan.adopt {
                         st.running.insert(job.job_id);
-                        let claim =
-                            JobRecord::Claimed { job_id: job.job_id, shard: index };
-                        if let Err(e) = st.wal.append(&claim) {
+                        let claim = JobRecord::Claimed { job_id: job.job_id, shard: index };
+                        if let Err(e) = st.append(&claim) {
                             eprintln!("[felix-serve] claim append failed: {e}");
                         }
                         st.queue.claims.insert(job.job_id, index);
                     }
-                    break fresh;
+                    break plan;
                 }
-                st = shared.work.wait(st).expect("server state poisoned");
+                // Park. Deadlines expire on the clock, not on a condvar
+                // signal, so poll while any owned pending job has one.
+                if watch_deadline {
+                    let (guard, _) = shared
+                        .work
+                        .wait_timeout(st, Duration::from_millis(200))
+                        .expect("server state poisoned");
+                    st = guard;
+                } else {
+                    st = shared.work.wait(st).expect("server state poisoned");
+                }
             }
         };
-        for job in &to_adopt {
-            if let Some(record) = shard.adopt(job) {
-                complete(shared, record);
+        for (job, disposal) in &plan.dispose {
+            let (outcome, crashes) = match disposal {
+                Disposal::Quarantine(n) => (JobOutcome::Quarantined, *n),
+                Disposal::Cancel => (JobOutcome::Cancelled, 0),
+                Disposal::Expire => (JobOutcome::Expired, 0),
+            };
+            match catch_unwind(AssertUnwindSafe(|| shard.dispose(job, outcome, crashes))) {
+                Ok(record) => complete(shared, record),
+                Err(_) => record_crash(shared, job.job_id),
             }
         }
-        if let Some(StepOutcome::Finished(record)) = shard.step() {
+        for record in shard.sweep_active(&plan.sweep) {
             complete(shared, record);
+        }
+        for job in &plan.adopt {
+            match catch_unwind(AssertUnwindSafe(|| shard.adopt(job))) {
+                Ok(Some(record)) => complete(shared, record),
+                Ok(None) => {}
+                Err(_) => record_crash(shared, job.job_id),
+            }
+        }
+        match shard.step() {
+            Some(StepOutcome::Finished(record)) => complete(shared, record),
+            Some(StepOutcome::Crashed(job_id)) => record_crash(shared, job_id),
+            Some(StepOutcome::Ticked(_)) | None => {}
         }
     }
 }
 
-/// Appends a completion record (the result document is already durable)
-/// and folds it into the live queue.
+/// Appends a terminal record (the result document is already durable),
+/// folds it into the live queue, and compacts the WAL if it has grown
+/// past its slack.
 fn complete(shared: &Shared, record: JobRecord) {
-    let JobRecord::Completed { job_id, rounds, latency_ms, ref result } = record else {
-        unreachable!("complete() only takes Completed records");
+    let JobRecord::Finished { job_id, outcome, rounds, latency_ms, ref result } = record
+    else {
+        unreachable!("complete() only takes terminal records");
     };
     let mut st = shared.lock();
-    if let Err(e) = st.wal.append(&record) {
-        eprintln!("[felix-serve] completion append failed: {e}");
+    if let Err(e) = st.append(&record) {
+        eprintln!("[felix-serve] terminal append failed: {e}");
     }
-    st.queue.completed.entry(job_id).or_insert_with(|| CompletedJob {
+    st.queue.terminal.entry(job_id).or_insert_with(|| TerminalJob {
+        outcome,
         rounds,
         latency_ms,
         result: result.clone(),
     });
+    st.queue.cancel_requested.remove(&job_id);
+    st.queue.crash_counts.remove(&job_id);
     st.running.remove(&job_id);
+    st.compact_if_oversized(shared.compact_slack);
+}
+
+/// Durably attributes one worker crash to a job: the cumulative count is
+/// WAL-logged, so it survives restarts and the replay parks the job once
+/// it reaches the quarantine threshold.
+fn record_crash(shared: &Shared, job_id: u64) {
+    let mut st = shared.lock();
+    let count = st.queue.crash_counts.get(&job_id).copied().unwrap_or(0) + 1;
+    if let Err(e) = st.append(&JobRecord::CrashCounted { job_id, count }) {
+        eprintln!("[felix-serve] crash-count append failed: {e}");
+    }
+    st.queue.crash_counts.insert(job_id, count);
+    st.running.remove(&job_id);
+    eprintln!(
+        "[felix-serve] job {job_id:016x} crash {count}/{QUARANTINE_CRASHES} recorded"
+    );
 }
 
 fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
@@ -218,10 +487,10 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
         let doc = match read_frame(&mut reader) {
             Ok(doc) => doc,
             Err(FrameError::Closed) => return,
-            Err(FrameError::Oversized) => {
-                // The rest of the oversized line is unread garbage; answer
-                // and drop the connection rather than resynchronize.
-                let resp = Response::Error { message: FrameError::Oversized.to_string() };
+            Err(e @ (FrameError::Oversized | FrameError::TimedOut)) => {
+                // The rest of the line is unread garbage; answer and drop
+                // the connection rather than resynchronize.
+                let resp = Response::Error { message: e.to_string() };
                 drop(write_frame(&mut writer, &resp.to_json()));
                 return;
             }
@@ -263,14 +532,39 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
                 return Response::Error { message };
             }
             let mut st = shared.lock();
+            // Admission control: every rejection leaves the WAL untouched.
+            if st.draining {
+                return Response::Draining;
+            }
+            let live = st.queue.live();
+            if live >= shared.max_queue_depth {
+                return Response::Busy {
+                    live: live as u64,
+                    limit: shared.max_queue_depth as u64,
+                };
+            }
+            let tenant_live = st.queue.tenant_live(&tenant);
+            if tenant_live >= shared.tenant_quota {
+                return Response::QuotaExceeded {
+                    tenant,
+                    live: tenant_live as u64,
+                    limit: shared.tenant_quota as u64,
+                };
+            }
             let job_id = st.queue.next_job_id();
-            let record = JobRecord::Submitted { job_id, tenant: tenant.clone(), spec: spec.clone() };
+            let submitted_at_ms = now_ms();
+            let record = JobRecord::Submitted {
+                job_id,
+                tenant: tenant.clone(),
+                spec: spec.clone(),
+                submitted_at_ms,
+            };
             // Durability before acknowledgment: the flush happens inside
             // `append`; only then does the client hear `ack`.
-            if let Err(e) = st.wal.append(&record) {
+            if let Err(e) = st.append(&record) {
                 return Response::Error { message: format!("queue append failed: {e}") };
             }
-            st.queue.submitted.push(SubmittedJob { job_id, tenant, spec });
+            st.queue.submitted.push(SubmittedJob { job_id, tenant, spec, submitted_at_ms });
             drop(st);
             shared.work.notify_all();
             Response::Ack { job_id }
@@ -286,12 +580,36 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
                 state: job_state(&st, job_id).to_string(),
             }
         }
+        Request::Cancel { job_id } => {
+            let mut st = shared.lock();
+            let Some(job) = st.queue.job(job_id) else {
+                return Response::Error { message: format!("unknown job {job_id:016x}") };
+            };
+            let tenant = job.tenant.clone();
+            // Idempotent: already-terminal and already-cancelling jobs
+            // just report their state; only the first request hits the
+            // WAL. Durability before acknowledgment, like submit.
+            if !st.queue.terminal.contains_key(&job_id)
+                && !st.queue.cancel_requested.contains(&job_id)
+            {
+                if let Err(e) = st.append(&JobRecord::CancelRequested { job_id }) {
+                    return Response::Error {
+                        message: format!("cancel append failed: {e}"),
+                    };
+                }
+                st.queue.cancel_requested.insert(job_id);
+            }
+            let state = job_state(&st, job_id).to_string();
+            drop(st);
+            shared.work.notify_all();
+            Response::JobStatus { job_id, tenant, state }
+        }
         Request::Result { job_id } => {
             let st = shared.lock();
             if st.queue.job(job_id).is_none() {
                 return Response::Error { message: format!("unknown job {job_id:016x}") };
             }
-            match st.queue.completed.get(&job_id) {
+            match st.queue.terminal.get(&job_id) {
                 Some(done) => Response::JobResult { job_id, result: done.result.clone() },
                 None => Response::Error { message: format!("job {job_id:016x} not finished") },
             }
@@ -314,8 +632,10 @@ fn handle_request(shared: &Shared, request: Request) -> Response {
 }
 
 fn job_state(st: &State, job_id: u64) -> &'static str {
-    if st.queue.completed.contains_key(&job_id) {
-        "done"
+    if let Some(done) = st.queue.terminal.get(&job_id) {
+        done.outcome.state()
+    } else if st.queue.cancel_requested.contains(&job_id) {
+        "cancelling"
     } else if st.running.contains(&job_id) {
         "running"
     } else {

@@ -36,6 +36,17 @@ pub struct JobSpec {
     /// absorbed the killed attempt's publishes — warm-cached jobs trade
     /// the byte-identical-under-crash guarantee for faster convergence.
     pub warm_cache: bool,
+    /// Optional wall-clock budget in milliseconds, measured from the
+    /// durable submission timestamp (so it keeps counting across daemon
+    /// restarts). A job past its deadline is finalized `expired` with its
+    /// partial result from the last round boundary. `None` = no deadline.
+    pub deadline_ms: Option<u64>,
+    /// Chaos-testing hook: the worker panics when it is about to tick
+    /// this round (0-based), simulating a poison job that crashes its
+    /// worker deterministically — the same philosophy as `felix_sim`'s
+    /// seeded fault plans. `None` (the only sensible production value)
+    /// never panics.
+    pub fault_panic_round: Option<usize>,
 }
 
 impl JobSpec {
@@ -51,12 +62,16 @@ impl JobSpec {
             n_seeds: 2,
             n_steps: 15,
             warm_cache: false,
+            deadline_ms: None,
+            fault_panic_round: None,
         }
     }
 
-    /// Serializes the spec as a JSON document.
+    /// Serializes the spec as a JSON document. The optional lifecycle
+    /// fields are omitted when unset, so pre-lifecycle specs keep their
+    /// exact wire bytes.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("model", Json::Str(self.model.clone())),
             (
                 "params",
@@ -68,7 +83,14 @@ impl JobSpec {
             ("n_seeds", Json::Num(self.n_seeds as f64)),
             ("n_steps", Json::Num(self.n_steps as f64)),
             ("warm_cache", Json::Bool(self.warm_cache)),
-        ])
+        ];
+        if let Some(d) = self.deadline_ms {
+            fields.push(("deadline_ms", Json::Num(d as f64)));
+        }
+        if let Some(r) = self.fault_panic_round {
+            fields.push(("fault_panic_round", Json::Num(r as f64)));
+        }
+        Json::obj(fields)
     }
 
     /// Decodes and validates a spec document; `Err` carries the
@@ -109,6 +131,21 @@ impl JobSpec {
                 .get("warm_cache")
                 .and_then(Json::as_bool)
                 .ok_or("spec needs a bool \"warm_cache\"")?,
+            deadline_ms: match doc.get("deadline_ms") {
+                None | Some(Json::Null) => None,
+                Some(d) => Some(
+                    d.as_usize()
+                        .ok_or("\"deadline_ms\" must be a non-negative integer")?
+                        as u64,
+                ),
+            },
+            fault_panic_round: match doc.get("fault_panic_round") {
+                None | Some(Json::Null) => None,
+                Some(r) => Some(
+                    r.as_usize()
+                        .ok_or("\"fault_panic_round\" must be a non-negative integer")?,
+                ),
+            },
         };
         spec.validate()?;
         Ok(spec)

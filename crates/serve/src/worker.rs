@@ -29,13 +29,21 @@ use felix::cache::ScheduleCache;
 use felix::persist::STATE_FILE;
 use felix::{extract_subgraphs, pretrained_cost_model, FelixOptions, ModelQuality, Optimizer};
 use felix_ansor::{job_priority, network_latency};
-use felix_records::jobs::SubmittedJob;
+use felix_records::jobs::{JobOutcome, SubmittedJob};
 use felix_records::{write_document, JobRecord, Json};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 
 /// WAL filename under the data directory.
 pub const WAL_FILE: &str = "wal.jsonl";
+
+/// How many worker crashes a job may cause before it is quarantined.
+/// Counted durably in the WAL (`job-crash` lines, caught panics only —
+/// a SIGKILL of the whole daemon is never attributed to a job), so the
+/// count accumulates across restarts and a poison job is parked on
+/// replay instead of crash-looping the daemon forever.
+pub const QUARANTINE_CRASHES: u32 = 3;
 
 /// The per-job state directory (checkpoints + result document).
 pub fn job_dir(data_dir: &Path, job_id: u64) -> PathBuf {
@@ -77,8 +85,13 @@ pub enum StepOutcome {
     /// Ran one tuning round of this job.
     Ticked(u64),
     /// The job finished: its result document is durably on disk and this
-    /// completion record is ready for the WAL.
+    /// terminal record is ready for the WAL.
     Finished(JobRecord),
+    /// The job's tick panicked. The job was dropped from the shard (its
+    /// in-memory optimizer state is suspect; the on-disk checkpoint from
+    /// the last round boundary is not) and stays pending — the caller
+    /// must count the crash durably so a repeat offender quarantines.
+    Crashed(u64),
 }
 
 /// One worker shard (see the module docs).
@@ -114,6 +127,17 @@ impl Shard {
     /// Whether any adopted job is still running.
     pub fn has_active(&self) -> bool {
         !self.active.is_empty()
+    }
+
+    /// Number of adopted jobs still running (what the per-shard
+    /// concurrency bound compares against).
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether this shard currently holds the job's live optimizer.
+    pub fn is_active(&self, job_id: u64) -> bool {
+        self.active.iter().any(|j| j.job_id == job_id)
     }
 
     /// Takes responsibility for a pending job: builds (or, when a
@@ -162,24 +186,115 @@ impl Shard {
             ActiveJob { job_id: job.job_id, tenant: job.tenant.clone(), spec, opt };
         *self.served.entry(active.tenant.clone()).or_insert(0) += active.opt.rounds_done();
         if active.opt.rounds_done() >= active.spec.rounds {
-            return Ok(Some(self.finalize(&mut active)));
+            return Ok(Some(self.finalize_with(JobOutcome::Done, &mut active)));
         }
         self.active.push(active);
         Ok(None)
     }
 
+    /// Finalizes a pending (not adopted) job into a non-`Done` terminal
+    /// state without running it:
+    ///
+    /// - [`JobOutcome::Quarantined`] writes an error-report result and
+    ///   never touches the job's optimizer or checkpoint — the whole
+    ///   point is that building or ticking this job crashes workers.
+    /// - [`JobOutcome::Cancelled`] / [`JobOutcome::Expired`] checkpoint
+    ///   the partial result: when a checkpoint exists the optimizer is
+    ///   resumed (never ticked) and its last round boundary becomes the
+    ///   result document; a never-started job yields the deterministic
+    ///   zero-round document. The schedule store is not attached, so the
+    ///   document depends on the checkpoint alone.
+    ///
+    /// Idempotent and deterministic in the durable state, like
+    /// [`Shard::adopt`]'s re-finalization path: a crash between the
+    /// result write and the WAL line replays to the same bytes.
+    pub fn dispose(&mut self, job: &SubmittedJob, outcome: JobOutcome, crashes: u32) -> JobRecord {
+        if outcome == JobOutcome::Quarantined {
+            let message = format!(
+                "quarantined after {crashes} worker crashes (threshold {QUARANTINE_CRASHES})"
+            );
+            return self.finalize_error_with(JobOutcome::Quarantined, job, &message);
+        }
+        match self.partial_state(job) {
+            Ok(mut active) => self.finalize_with(outcome, &mut active),
+            Err(msg) => self.finalize_error_with(outcome, job, &msg),
+        }
+    }
+
+    /// Rebuilds a job's optimizer at its last durable round boundary
+    /// (resuming the checkpoint if one exists) without running any round.
+    fn partial_state(&self, job: &SubmittedJob) -> Result<ActiveJob, String> {
+        let spec = JobSpec::from_json(&job.spec)?;
+        let device = spec.resolve_device()?;
+        let graphs = extract_subgraphs(&spec.resolve_graph()?);
+        let options = FelixOptions {
+            n_seeds: spec.n_seeds,
+            n_steps: spec.n_steps,
+            threads: 1,
+            ..Default::default()
+        };
+        let dir = job_dir(&self.data_dir, job.job_id);
+        let opt = if dir.join(STATE_FILE).exists() {
+            Optimizer::resume_from_checkpoint(graphs, device, options, &dir)
+                .map_err(|e| format!("resume failed: {e}"))?
+        } else {
+            std::fs::create_dir_all(&dir).map_err(|e| format!("job dir: {e}"))?;
+            let model = pretrained_cost_model(&device, ModelQuality::Fast);
+            Optimizer::with_options(graphs, model, device, options)
+        };
+        Ok(ActiveJob { job_id: job.job_id, tenant: job.tenant.clone(), spec, opt })
+    }
+
+    /// Finalizes any active jobs named in `verdicts` (cancel/expire,
+    /// honored between ticks) from their current in-memory state — which
+    /// equals their last checkpoint, since checkpoints land every round.
+    /// Returns the terminal records, in active (adoption) order.
+    pub fn sweep_active(&mut self, verdicts: &BTreeMap<u64, JobOutcome>) -> Vec<JobRecord> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            match verdicts.get(&self.active[i].job_id) {
+                Some(&outcome) => {
+                    let mut job = self.active.remove(i);
+                    out.push(self.finalize_with(outcome, &mut job));
+                }
+                None => i += 1,
+            }
+        }
+        out
+    }
+
     /// Runs one scheduling step: fairness-picks a job, ticks it one
-    /// round, finalizes it if that was its last. `None` when idle.
+    /// round, finalizes it if that was its last. A panicking tick is
+    /// caught and reported as [`StepOutcome::Crashed`] with the job
+    /// removed, so one poison job never takes the shard's other tenants
+    /// down with it (the same isolation the descent supervisor applies
+    /// per seed). `None` when idle.
     pub fn step(&mut self) -> Option<StepOutcome> {
         let i = self.pick()?;
         let job = &mut self.active[i];
-        job.opt.tick(job.spec.measures);
-        let tenant = job.tenant.clone();
+        let measures = job.spec.measures;
+        let fault_round = job.spec.fault_panic_round;
+        let ticked = catch_unwind(AssertUnwindSafe(|| {
+            if fault_round == Some(job.opt.rounds_done()) {
+                panic!("fault_panic_round {} injected", job.opt.rounds_done());
+            }
+            job.opt.tick(measures);
+        }));
+        if ticked.is_err() {
+            let job = self.active.remove(i);
+            eprintln!(
+                "[felix-serve] shard {}: job {:016x} crashed its tick",
+                self.index, job.job_id
+            );
+            return Some(StepOutcome::Crashed(job.job_id));
+        }
+        let tenant = self.active[i].tenant.clone();
         *self.served.entry(tenant).or_insert(0) += 1;
         let job = &mut self.active[i];
         if job.opt.rounds_done() >= job.spec.rounds {
             let mut job = self.active.remove(i);
-            let record = self.finalize(&mut job);
+            let record = self.finalize_with(JobOutcome::Done, &mut job);
             return Some(StepOutcome::Finished(record));
         }
         Some(StepOutcome::Ticked(self.active[i].job_id))
@@ -214,10 +329,12 @@ impl Shard {
 
     /// Writes the job's result document atomically, publishes its
     /// incumbents to the tenant's schedule store, and builds the
-    /// completion record. Deterministic in the optimizer state alone, so
-    /// re-finalizing after a crash reproduces the result byte for byte
-    /// (and re-publishing is a no-op on the store).
-    fn finalize(&self, job: &mut ActiveJob) -> JobRecord {
+    /// terminal record for `outcome`. Deterministic in the optimizer
+    /// state alone, so re-finalizing after a crash reproduces the result
+    /// byte for byte (and re-publishing is a no-op on the store). A
+    /// cancelled/expired job's partial incumbents publish too — they are
+    /// real measured schedules, as warm-start-worthy as a full run's.
+    fn finalize_with(&self, outcome: JobOutcome, job: &mut ActiveJob) -> JobRecord {
         let latency_ms = network_latency(job.opt.tasks());
         let result = result_document(job);
         let path = result_path(&self.data_dir, job.job_id);
@@ -234,8 +351,9 @@ impl Shard {
             }
             Err(e) => eprintln!("[felix-serve] schedule store publish failed: {e}"),
         }
-        JobRecord::Completed {
+        JobRecord::Finished {
             job_id: job.job_id,
+            outcome,
             rounds: job.opt.rounds_done(),
             latency_ms,
             result,
@@ -245,14 +363,26 @@ impl Shard {
     /// An unrunnable job completes immediately with the error as its
     /// result document.
     fn finalize_error(&self, job: &SubmittedJob, message: &str) -> JobRecord {
+        self.finalize_error_with(JobOutcome::Done, job, message)
+    }
+
+    /// Writes an error-report result document and builds the terminal
+    /// record for `outcome` without touching the job's optimizer.
+    fn finalize_error_with(
+        &self,
+        outcome: JobOutcome,
+        job: &SubmittedJob,
+        message: &str,
+    ) -> JobRecord {
         let result = Json::obj(vec![("error", Json::Str(message.to_string()))]);
         let dir = job_dir(&self.data_dir, job.job_id);
         std::fs::create_dir_all(&dir).ok();
         if let Err(e) = write_document(result_path(&self.data_dir, job.job_id), &result) {
             eprintln!("[felix-serve] error-result write failed: {e}");
         }
-        JobRecord::Completed {
+        JobRecord::Finished {
             job_id: job.job_id,
+            outcome,
             rounds: 0,
             latency_ms: f64::INFINITY,
             result,

@@ -31,6 +31,7 @@ fn submitted(job_id: u64, tenant: &str, rounds: usize) -> SubmittedJob {
         job_id,
         tenant: tenant.to_string(),
         spec: JobSpec::quick("llama", LLAMA_TINY.to_vec(), DEVICE, rounds).to_json(),
+        submitted_at_ms: 0,
     }
 }
 
@@ -60,6 +61,7 @@ fn lone_tenant_is_not_starved_by_a_crowd() {
                 }
                 id
             }
+            StepOutcome::Crashed(id) => panic!("job {id} crashed without a fault plan"),
         };
         ticks.push(tenant_of(job_id));
         assert!(ticks.len() < 100, "scheduler failed to drain the queue");
@@ -100,6 +102,7 @@ fn single_job_serving_is_bit_identical_to_optimize_all() {
         match shard.step().expect("queue drained early") {
             StepOutcome::Ticked(_) => {}
             StepOutcome::Finished(record) => break record,
+            StepOutcome::Crashed(id) => panic!("job {id} crashed without a fault plan"),
         }
     };
     assert_eq!(record.job_id(), 0);

@@ -78,6 +78,7 @@ fn every_request_variant_roundtrips() {
             Request::Ping,
             Request::Submit { tenant: rng.string(), spec: spec_doc(&mut rng) },
             Request::Status { job_id: rng.next() },
+            Request::Cancel { job_id: rng.next() },
             Request::Result { job_id: rng.next() },
             Request::List,
             Request::Shutdown,
@@ -125,10 +126,26 @@ fn every_response_variant_roundtrips() {
                     .map(|i| JobRow {
                         job_id: rng.next(),
                         tenant: rng.string(),
-                        state: ["pending", "running", "done"][i as usize % 3].to_string(),
+                        state: [
+                            "pending",
+                            "cancelling",
+                            "running",
+                            "done",
+                            "cancelled",
+                            "expired",
+                            "quarantined",
+                        ][i as usize % 7]
+                            .to_string(),
                     })
                     .collect(),
             },
+            Response::Busy { live: rng.next(), limit: rng.next() },
+            Response::QuotaExceeded {
+                tenant: rng.string(),
+                live: rng.next(),
+                limit: rng.next(),
+            },
+            Response::Draining,
             Response::Bye,
             Response::Error { message: rng.string() },
         ];

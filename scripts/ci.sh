@@ -98,3 +98,18 @@ cargo test -q -p felix --test cache stale_generator_entries_are_clean_misses_and
 cargo test -q -p felix-serve --test protocol
 cargo test -q -p felix-serve --test fairness
 cargo test -q -p felix-serve --test crash_resume
+
+# Lifecycle smoke: the job state machine under the same chaos harness.
+# Cancellation and deadline expiry stay byte-deterministic across a
+# SIGKILL sweep (kills land mid-cancel/mid-expiry); a poison job that
+# crashes its worker three times is parked `quarantined` durably — across
+# restarts — while healthy tenants keep completing; a full queue and an
+# exhausted tenant quota reject with typed errors and leave the WAL
+# untouched; SIGTERM drains gracefully (exit 0, no accepted job lost);
+# and compaction rewrites the WAL to canonical form without changing any
+# served result. Same Unix-only / FELIX_SKIP_CRASH_TESTS gates as above.
+cargo test -q -p felix-serve --test lifecycle chaos_sweep_cancel_expiry_and_completion_are_byte_deterministic
+cargo test -q -p felix-serve --test lifecycle poison_jobs_are_quarantined_while_healthy_tenants_keep_running
+cargo test -q -p felix-serve --test lifecycle admission_control_rejects_without_touching_the_wal
+cargo test -q -p felix-serve --test lifecycle sigterm_drains_gracefully_and_loses_no_accepted_job
+cargo test -q -p felix-serve --test lifecycle compaction_shrinks_the_wal_to_canonical_form_and_keeps_results_served
